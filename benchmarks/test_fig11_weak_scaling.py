@@ -1,0 +1,37 @@
+"""Fig. 11 — weak scaling: 48 -> 1536 atoms on ARM (nodes = orbitals/4)
+and 48 -> 3072 atoms on GPU (nodes = orbitals/40), with the paper's
+O(N^2)-per-node ideal line and the quoted anchors (11.40 s at 192 atoms,
+429.29 s at 3072 atoms on the GPU platform)."""
+
+import pytest
+
+from repro.perf.calibrate import HEADLINE_3072_SECONDS, WEAK_ANCHORS
+from repro.perf.experiments import fig11_weak_scaling
+
+
+@pytest.mark.parametrize("machine", ["fugaku-arm", "a100-gpu"])
+def test_fig11_model(machine, benchmark):
+    r = fig11_weak_scaling(machine)
+    print(f"\n# Fig 11 ({machine}, Async variant)")
+    print(f"{'atoms':>8}{'nodes':>8}{'t/step (s)':>14}{'ideal O(N^2)':>14}")
+    anchors = {na: t for (m, na), t in WEAK_ANCHORS.items() if m == machine}
+    for row in r["rows"]:
+        mark = f"   paper: {anchors[row['natom']]:.1f}s" if row["natom"] in anchors else ""
+        print(
+            f"{row['natom']:>8}{row['nodes']:>8}{row['seconds']:>14.1f}"
+            f"{row['ideal_seconds']:>14.1f}{mark}"
+        )
+    secs = [row["seconds"] for row in r["rows"]]
+    assert all(b > a for a, b in zip(secs, secs[1:]))
+    benchmark(lambda: fig11_weak_scaling(machine))
+
+
+def test_headline_time_to_solution():
+    """Abstract: 3072 atoms, 192 GPU nodes, 429.3 s per 50 as step; i.e.
+    ~2.4 h per femtosecond (the paper quotes ~2.5 h)."""
+    r = fig11_weak_scaling("a100-gpu")
+    t_3072 = next(row["seconds"] for row in r["rows"] if row["natom"] == 3072)
+    per_fs_hours = t_3072 * 20 / 3600.0
+    print(f"\n# modeled 3072-atom step: {t_3072:.1f}s (paper {HEADLINE_3072_SECONDS}s); "
+          f"{per_fs_hours:.1f} h per simulated fs (paper ~2.5 h)")
+    assert HEADLINE_3072_SECONDS / 2.0 < t_3072 < HEADLINE_3072_SECONDS * 2.0

@@ -1,0 +1,15 @@
+"""repro: finite-temperature hybrid-functional rt-TDDFT (PT-IM) reproduction.
+
+Public entry points:
+
+* :mod:`repro.grid` — cells and plane-wave grids;
+* :mod:`repro.hamiltonian` — the Kohn-Sham Hamiltonian with hybrid
+  functionals (Fock exchange + ACE);
+* :mod:`repro.scf` — ground-state solver (the rt-TDDFT initial state);
+* :mod:`repro.rt` — the PT-IM / PT-IM-ACE / RK4 propagators;
+* :mod:`repro.parallel` — the simulated-MPI substrate;
+* :mod:`repro.perf` — the performance model regenerating the paper's
+  evaluation figures and tables.
+"""
+
+__version__ = "1.0.0"

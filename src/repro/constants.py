@@ -1,0 +1,60 @@
+"""Physical constants and unit conversions (Hartree atomic units).
+
+All internal quantities in :mod:`repro` are expressed in Hartree atomic
+units: lengths in bohr, energies in hartree, times in atomic time units
+(1 a.t.u. = 24.188843 as).  The constants here convert to/from the units
+used in the paper (angstrom lattice constants, attosecond/femtosecond time
+steps, nanometre laser wavelengths, kelvin temperatures).
+"""
+
+from __future__ import annotations
+
+import math
+
+# --- length ---------------------------------------------------------------
+BOHR_PER_ANGSTROM: float = 1.0 / 0.529177210903
+ANGSTROM_PER_BOHR: float = 0.529177210903
+BOHR_PER_NM: float = 10.0 * BOHR_PER_ANGSTROM
+
+# --- time -----------------------------------------------------------------
+#: one atomic time unit in attoseconds
+ATTOSECOND_PER_AU: float = 24.188843265857
+AU_PER_ATTOSECOND: float = 1.0 / ATTOSECOND_PER_AU
+AU_PER_FEMTOSECOND: float = 1000.0 * AU_PER_ATTOSECOND
+FEMTOSECOND_PER_AU: float = ATTOSECOND_PER_AU / 1000.0
+
+# --- energy / temperature ---------------------------------------------------
+EV_PER_HARTREE: float = 27.211386245988
+HARTREE_PER_EV: float = 1.0 / EV_PER_HARTREE
+#: Boltzmann constant in hartree / kelvin
+KB_HARTREE_PER_K: float = 3.166811563e-6
+
+# --- electromagnetic --------------------------------------------------------
+#: speed of light in atomic units (1/alpha)
+SPEED_OF_LIGHT_AU: float = 137.035999084
+
+#: paper settings (Sec. VI): HSE06 mixing and screening
+HSE06_ALPHA: float = 0.25
+#: HSE06 range-separation parameter, bohr^-1
+HSE06_OMEGA: float = 0.11
+
+#: silicon lattice constant used in the paper, in bohr (5.43 angstrom)
+SILICON_LATTICE_BOHR: float = 5.43 * BOHR_PER_ANGSTROM
+
+#: spin degeneracy used throughout (paper omits spin; each orbital holds 2 e-)
+SPIN_DEGENERACY: float = 2.0
+
+
+def laser_omega_from_wavelength_nm(wavelength_nm: float) -> float:
+    """Angular frequency (hartree) of light with the given vacuum wavelength.
+
+    ``omega = 2*pi*c / lambda`` in atomic units.  The paper's pulse is
+    380 nm, i.e. ``~0.12`` hartree (3.26 eV) photons.
+    """
+    lam_bohr = wavelength_nm * BOHR_PER_NM
+    return 2.0 * math.pi * SPEED_OF_LIGHT_AU / lam_bohr
+
+
+def kelvin_to_hartree(temperature_k: float) -> float:
+    """Electronic temperature ``k_B T`` in hartree."""
+    return temperature_k * KB_HARTREE_PER_K

@@ -1,0 +1,5 @@
+"""Counting, batched FFT engine (the simulator's cuFFT/FFTW stand-in)."""
+
+from repro.fft.backend import FFTEngine, FFTCounters, global_engine
+
+__all__ = ["FFTEngine", "FFTCounters", "global_engine"]

@@ -1,0 +1,13 @@
+"""Real/reciprocal-space grids for the Γ-point plane-wave basis."""
+
+from repro.grid.cell import UnitCell, silicon_supercell, silicon_cubic_cell
+from repro.grid.gvectors import GVectors
+from repro.grid.fftgrid import PlaneWaveGrid
+
+__all__ = [
+    "UnitCell",
+    "silicon_supercell",
+    "silicon_cubic_cell",
+    "GVectors",
+    "PlaneWaveGrid",
+]

@@ -1,0 +1,8 @@
+"""Kohn–Sham Hamiltonian with hybrid functionals (paper Eq. (8))."""
+
+from repro.hamiltonian.kinetic import KineticOperator
+from repro.hamiltonian.fock import FockExchangeOperator
+from repro.hamiltonian.ace import ACEOperator
+from repro.hamiltonian.hamiltonian import Hamiltonian
+
+__all__ = ["KineticOperator", "FockExchangeOperator", "ACEOperator", "Hamiltonian"]

@@ -1,0 +1,209 @@
+"""The time-dependent Kohn–Sham Hamiltonian ``H[P] = T + V_ext + V_Hxc + alpha V_x``.
+
+One object carries all fixed pieces (ionic local potential, nonlocal
+projectors, kinetic diagonal, exchange kernel) and the mutable state that
+changes during SCF / propagation:
+
+* the density-dependent effective potential (:meth:`update_density`);
+* the vector potential A(t) of the laser (:meth:`set_time`);
+* the exact-exchange configuration (:meth:`set_exchange_sources` /
+  :meth:`set_ace`): dense-diag, dense triple-loop (baseline Alg. 2) or
+  the compressed ACE operator.
+
+``apply`` evaluates ``H Phi`` for a band block — the operation the whole
+paper optimizes.
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Optional, Tuple
+
+import numpy as np
+
+from repro.constants import SPIN_DEGENERACY
+from repro.grid.fftgrid import PlaneWaveGrid
+from repro.hamiltonian.ace import ACEOperator
+from repro.hamiltonian.fock import FockExchangeOperator
+from repro.hamiltonian.kinetic import KineticOperator
+from repro.hartree.poisson import hartree_energy, hartree_potential
+from repro.pseudo.local import LocalPseudopotential
+from repro.pseudo.nonlocal_ import NonlocalPseudopotential
+from repro.utils.validation import require
+from repro.xc.hybrid import HybridFunctional, SemilocalFunctional
+
+ExchangeMode = Literal["none", "dense-diag", "dense-tripleloop", "ace"]
+
+
+class Hamiltonian:
+    """Plane-wave Kohn–Sham Hamiltonian for one cell + functional.
+
+    Parameters
+    ----------
+    grid:
+        Plane-wave discretization (holds the cell).
+    functional:
+        :class:`SemilocalFunctional` or :class:`HybridFunctional`.
+    field:
+        Optional laser field providing ``vector_potential(t)``.
+    degeneracy:
+        Electrons per orbital (2 for the paper's spin-restricted setup).
+    """
+
+    def __init__(
+        self,
+        grid: PlaneWaveGrid,
+        functional: SemilocalFunctional | HybridFunctional,
+        field=None,
+        degeneracy: float = SPIN_DEGENERACY,
+        fock_batch_size: int = 16,
+    ) -> None:
+        self.grid = grid
+        self.cell = grid.cell
+        self.functional = functional
+        self.field = field
+        self.degeneracy = float(degeneracy)
+
+        self.local_pseudo = LocalPseudopotential(grid)
+        self.nonlocal_pseudo = NonlocalPseudopotential(grid)
+        self.kinetic = KineticOperator(grid)
+        if functional.is_hybrid:
+            self.fock = FockExchangeOperator(grid, functional.kernel(grid), fock_batch_size)
+        else:
+            self.fock = None
+
+        # mutable state
+        self.v_eff: np.ndarray = self.local_pseudo.v_real.copy()
+        self.v_hartree: Optional[np.ndarray] = None
+        self.v_xc: Optional[np.ndarray] = None
+        self.rho: Optional[np.ndarray] = None
+        self.e_hartree: float = 0.0
+        self.e_xc_semilocal: float = 0.0
+        self.time: float = 0.0
+
+        self.exchange_mode: ExchangeMode = "none"
+        self._exx_sources: Optional[Tuple[np.ndarray, np.ndarray]] = None  # (phi_t, d)
+        self._exx_sigma_pair: Optional[Tuple[np.ndarray, np.ndarray]] = None  # (phi, sigma)
+        self._ace: Optional[ACEOperator] = None
+
+    # -- electron count -------------------------------------------------------
+    @property
+    def n_electrons(self) -> float:
+        """Valence electrons in the cell (from pseudopotential charges)."""
+        return self.local_pseudo.zion_total
+
+    # -- density-dependent pieces ------------------------------------------------
+    def update_density(self, rho: np.ndarray) -> None:
+        """Rebuild ``V_H + V_xc`` (and their energies) from a real density."""
+        require(rho.shape == (self.grid.ngrid,), "density must be flat on the grid")
+        rho = np.asarray(rho, dtype=float)
+        self.rho = rho
+        self.v_hartree = hartree_potential(self.grid, rho)
+        eps_xc, v_xc = self.functional.semilocal(rho)
+        self.v_xc = v_xc
+        self.v_eff = self.local_pseudo.v_real + self.v_hartree + self.v_xc
+        self.e_hartree = hartree_energy(self.grid, rho, self.v_hartree)
+        self.e_xc_semilocal = float(np.dot(rho, eps_xc)) * self.grid.dv
+
+    # -- time-dependent external field ---------------------------------------------
+    def set_time(self, t: float) -> None:
+        """Move the Hamiltonian to time ``t`` (updates A(t) in the kinetic)."""
+        self.time = float(t)
+        if self.field is not None:
+            self.kinetic.set_vector_potential(self.field.vector_potential(t))
+
+    # -- exact exchange configuration --------------------------------------------
+    def set_exchange_sources(
+        self,
+        phi: np.ndarray,
+        sigma: np.ndarray,
+        mode: ExchangeMode = "dense-diag",
+    ) -> None:
+        """Fix the density matrix defining V_x (dense evaluation modes).
+
+        For ``dense-diag`` the sigma eigenbasis rotation is done once here
+        (paper Fig. 2(b)); for ``dense-tripleloop`` the raw (Phi, sigma)
+        pair is kept and Alg. 2 runs on every application.
+        """
+        require(self.functional.is_hybrid, "exchange sources need a hybrid functional")
+        if mode == "dense-diag":
+            from repro.occupation.sigma import diagonalize_sigma, hermitize, rotate_orbitals
+
+            d, q = diagonalize_sigma(hermitize(sigma))
+            self._exx_sources = (rotate_orbitals(phi, q), d)
+            self._exx_sigma_pair = None
+        elif mode == "dense-tripleloop":
+            self._exx_sigma_pair = (phi, np.asarray(sigma))
+            self._exx_sources = None
+        else:
+            raise ValueError(f"bad dense exchange mode {mode!r}")
+        self.exchange_mode = mode
+        self._ace = None
+
+    def set_ace(self, ace: ACEOperator) -> None:
+        """Use a prebuilt compressed exchange operator (inner-SCF fast path)."""
+        require(self.functional.is_hybrid, "ACE needs a hybrid functional")
+        self._ace = ace
+        self.exchange_mode = "ace"
+        self._exx_sources = None
+        self._exx_sigma_pair = None
+
+    def clear_exchange(self) -> None:
+        self.exchange_mode = "none"
+        self._exx_sources = None
+        self._exx_sigma_pair = None
+        self._ace = None
+
+    def build_ace(self, phi: np.ndarray, sigma: np.ndarray) -> ACEOperator:
+        """Construct an ACE operator from the dense action on ``phi``.
+
+        This is the outer-SCF "ACE preparation" step of Fig. 4(b): one
+        dense (N^2-FFT) evaluation, then compression.
+        """
+        require(self.fock is not None, "ACE requires a hybrid functional")
+        w, _, _ = self.fock.apply_mixed_via_diagonalization(phi, sigma, targets=phi)
+        return ACEOperator.from_dense_action(self.grid, phi, w)
+
+    # -- exchange application -------------------------------------------------------
+    def apply_exchange(self, phi_r: np.ndarray) -> np.ndarray:
+        """``alpha * V_x phi`` in real space under the current configuration."""
+        if self.exchange_mode == "none" or not self.functional.is_hybrid:
+            return np.zeros_like(phi_r)
+        alpha = self.functional.alpha
+        if self.exchange_mode == "ace":
+            require(self._ace is not None, "ACE operator not set")
+            return alpha * self._ace.apply(phi_r)
+        if self.exchange_mode == "dense-diag":
+            require(self._exx_sources is not None, "exchange sources not set")
+            src, d = self._exx_sources
+            return alpha * self.fock.apply_diag(src, d, phi_r)
+        if self.exchange_mode == "dense-tripleloop":
+            require(self._exx_sigma_pair is not None, "exchange sources not set")
+            phi_s, sigma = self._exx_sigma_pair
+            return alpha * self.fock.apply_mixed_tripleloop(phi_s, sigma, targets=phi_r)
+        raise RuntimeError(f"unknown exchange mode {self.exchange_mode!r}")
+
+    # -- full application ---------------------------------------------------------
+    def apply(self, phi_r: np.ndarray, *, include_exchange: bool = True) -> np.ndarray:
+        """``H Phi`` for a real-space band block ``(nb, ngrid)``.
+
+        The output is projected back onto the cutoff sphere — the
+        operator diagonalized/propagated is ``P_ecut H P_ecut``, the
+        standard plane-wave discretization (otherwise local-potential
+        scattering to high G makes eigen-residuals non-vanishing).
+        """
+        phi_g = self.grid.r_to_g(phi_r)
+        h_g = self.kinetic.apply_g(phi_g)
+        h_g += self.nonlocal_pseudo.apply_g(phi_g)
+        local = self.v_eff[None, :] * phi_r
+        if include_exchange:
+            local = local + self.apply_exchange(phi_r)
+        h_g += self.grid.r_to_g(local)
+        self.grid.apply_cutoff(h_g)
+        return self.grid.g_to_r(h_g)
+
+    def subspace_matrix(self, phi_r: np.ndarray, h_phi: Optional[np.ndarray] = None) -> np.ndarray:
+        """Rayleigh quotient block ``(Phi* H Phi)`` — hermitized."""
+        if h_phi is None:
+            h_phi = self.apply(phi_r)
+        m = self.grid.inner(phi_r, h_phi)
+        return 0.5 * (m + m.conj().T)

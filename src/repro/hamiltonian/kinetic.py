@@ -1,0 +1,59 @@
+"""Kinetic-energy operator, optionally minimally coupled to a laser field.
+
+In the velocity gauge the time-dependent external field enters through
+the vector potential: ``T(t) = (1/2) |G + A(t)|^2`` — diagonal in G space,
+which keeps the propagation periodic-safe (no sawtooth potential needed
+for the dynamics; the length-gauge option lives in the local potential).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.grid.fftgrid import PlaneWaveGrid
+
+
+class KineticOperator:
+    """Diagonal (in G) kinetic operator ``|G + A|^2 / 2``."""
+
+    def __init__(self, grid: PlaneWaveGrid) -> None:
+        self.grid = grid
+        self._g_cart = grid.gvec.cartesian.reshape(-1, 3)  # (ngrid, 3)
+        self._g2 = grid.to_flat(grid.gvec.g2[None])[0]
+        self._a = np.zeros(3)
+        self._diag = 0.5 * self._g2.copy()
+
+    def set_vector_potential(self, a: Optional[np.ndarray]) -> None:
+        """Update A(t); ``None`` resets to the field-free operator."""
+        if a is None:
+            a = np.zeros(3)
+        a = np.asarray(a, dtype=float)
+        if a.shape != (3,):
+            raise ValueError(f"vector potential must be a 3-vector, got {a.shape}")
+        self._a = a
+        if np.any(a != 0.0):
+            self._diag = 0.5 * (self._g2 + 2.0 * (self._g_cart @ a) + float(a @ a))
+        else:
+            self._diag = 0.5 * self._g2
+
+    @property
+    def vector_potential(self) -> np.ndarray:
+        return self._a.copy()
+
+    @property
+    def diagonal_g(self) -> np.ndarray:
+        """Current kinetic diagonal in G space (flat)."""
+        return self._diag
+
+    def apply_g(self, phi_g: np.ndarray) -> np.ndarray:
+        """Apply to a G-space coefficient block ``(..., ngrid)``."""
+        return phi_g * self._diag
+
+    def energy(self, phi_g: np.ndarray, weights: np.ndarray) -> float:
+        """``Σ_n w_n <phi_n|T|phi_n>`` for G-space orbitals (rows)."""
+        per_band = self.grid.cell.volume * np.einsum(
+            "ng,g,ng->n", phi_g.conj(), self._diag, phi_g
+        ).real
+        return float(np.dot(np.asarray(weights, float), per_band))

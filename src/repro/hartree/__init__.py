@@ -1,0 +1,6 @@
+"""Electrostatics: Hartree potential (G-space Poisson) and Ewald sums."""
+
+from repro.hartree.poisson import hartree_potential, hartree_energy, solve_poisson_g
+from repro.hartree.ewald import ewald_energy
+
+__all__ = ["hartree_potential", "hartree_energy", "solve_poisson_g", "ewald_energy"]

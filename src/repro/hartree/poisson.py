@@ -1,0 +1,64 @@
+"""Poisson solver in reciprocal space.
+
+With our FFT convention (``rho(r) = Σ_G c_G e^{iGr}``), the Hartree
+potential is diagonal in G: ``V_H(G) = 4π c_G / G²`` with the G = 0
+component set to zero (jellium compensation for neutral cells).  The same
+kernel machinery evaluates the pair "Poisson-like equations" at the heart
+of the Fock exchange operator (paper Sec. II-B) via
+:func:`solve_poisson_g` with a custom kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.grid.fftgrid import PlaneWaveGrid
+
+
+def coulomb_kernel_g(grid: PlaneWaveGrid, gzero: float = 0.0) -> np.ndarray:
+    """Bare Coulomb kernel ``4π/G²`` (flat), with the G=0 entry ``gzero``."""
+    g2 = grid.to_flat(grid.gvec.g2[None])[0]
+    kernel = np.zeros_like(g2)
+    nz = g2 > 1e-12
+    kernel[nz] = 4.0 * np.pi / g2[nz]
+    kernel[~nz] = gzero
+    return kernel
+
+
+def solve_poisson_g(
+    grid: PlaneWaveGrid, rho_flat: np.ndarray, kernel: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Apply an interaction kernel to a (possibly complex) density field.
+
+    Parameters
+    ----------
+    rho_flat:
+        Density(-like) field on the wavefunction grid, flat shape
+        ``(..., ngrid)``; batched inputs are transformed in one batched FFT
+        (the multi-batch strategy of paper Sec. III-B).
+    kernel:
+        Flat G-space kernel; defaults to the bare Coulomb kernel.
+
+    Returns
+    -------
+    The real-space potential ``(..., ngrid)`` (complex dtype preserved).
+    """
+    if kernel is None:
+        kernel = coulomb_kernel_g(grid)
+    rho_g = grid.r_to_g(np.asarray(rho_flat))
+    return grid.g_to_r(rho_g * kernel)
+
+
+def hartree_potential(grid: PlaneWaveGrid, rho_flat: np.ndarray) -> np.ndarray:
+    """Real Hartree potential of a real density (flat arrays)."""
+    v = solve_poisson_g(grid, rho_flat.astype(complex))
+    return v.real
+
+
+def hartree_energy(grid: PlaneWaveGrid, rho_flat: np.ndarray, v_h: Optional[np.ndarray] = None) -> float:
+    """``E_H = (1/2) ∫ rho(r) V_H(r) dr`` on the grid."""
+    if v_h is None:
+        v_h = hartree_potential(grid, rho_flat)
+    return 0.5 * float(np.real(np.vdot(rho_flat, v_h))) * grid.dv

@@ -1,0 +1,15 @@
+"""Physical observables: dipole moment, total energy, absorption spectrum."""
+
+from repro.observables.dipole import dipole_moment, cell_centered_coordinates
+from repro.observables.energy import td_total_energy, EnergyBreakdown
+from repro.observables.spectrum import absorption_spectrum
+from repro.observables.current import current_density
+
+__all__ = [
+    "dipole_moment",
+    "cell_centered_coordinates",
+    "td_total_energy",
+    "EnergyBreakdown",
+    "absorption_spectrum",
+    "current_density",
+]

@@ -1,0 +1,112 @@
+"""Total energy of a time-dependent mixed state (Fig. 7(c)(e)).
+
+``E[Phi, sigma] = Tr[sigma Phi* (T + V_nl) Phi] + E_loc + E_H + E_xc
++ alpha E_x + E_II + E_{G=0}``
+
+evaluated through the sigma eigenbasis (the same diagonalization that
+accelerates the Fock operator).  Field-free, this is conserved by exact
+dynamics — the drift measures integrator quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.hamiltonian.hamiltonian import Hamiltonian
+from repro.hartree.ewald import ewald_energy
+from repro.occupation.sigma import (
+    density_from_orbitals_diag,
+    diagonalize_sigma,
+    hermitize,
+    rotate_orbitals,
+)
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Per-term decomposition of the total energy (hartree)."""
+
+    kinetic: float
+    local: float
+    nonlocal_: float
+    hartree: float
+    xc_semilocal: float
+    exact_exchange: float
+    ewald: float
+    g0: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.kinetic
+            + self.local
+            + self.nonlocal_
+            + self.hartree
+            + self.xc_semilocal
+            + self.exact_exchange
+            + self.ewald
+            + self.g0
+        )
+
+
+def td_total_energy(
+    ham: Hamiltonian,
+    phi: np.ndarray,
+    sigma: np.ndarray,
+    e_ewald: Optional[float] = None,
+    use_ace: bool = False,
+) -> EnergyBreakdown:
+    """Energy of the state ``(Phi, sigma)`` under the current Hamiltonian.
+
+    Updates the Hamiltonian's density-dependent pieces as a side effect
+    (they are recomputed from this state's density).
+
+    Parameters
+    ----------
+    use_ace:
+        Evaluate the exchange energy through the currently-set ACE
+        operator instead of the dense operator (cheap; exact on the ACE
+        generating orbitals).
+    """
+    grid = ham.grid
+    deg = ham.degeneracy
+
+    d, q = diagonalize_sigma(hermitize(sigma))
+    phi_t = rotate_orbitals(phi, q)
+    w = deg * d
+
+    rho = density_from_orbitals_diag(grid, phi, sigma, degeneracy=deg)
+    rho = np.maximum(rho, 0.0)
+    rho *= ham.n_electrons / (rho.sum() * grid.dv)
+    ham.update_density(rho)
+
+    phi_g = grid.r_to_g(phi_t)
+    e_kin = ham.kinetic.energy(phi_g, w)
+    e_nl = ham.nonlocal_pseudo.energy(phi_g, w)
+    e_loc = float(np.dot(rho, ham.local_pseudo.v_real)) * grid.dv
+    e_h = ham.e_hartree
+    e_xc = ham.e_xc_semilocal
+    e_g0 = ham.local_pseudo.energy_g0(ham.n_electrons)
+    if e_ewald is None:
+        e_ewald = ewald_energy(ham.cell)
+
+    e_x = 0.0
+    if ham.functional.is_hybrid:
+        if use_ace and ham.exchange_mode == "ace" and ham._ace is not None:
+            e_x = ham.functional.alpha * ham._ace.exchange_energy(phi, sigma, deg)
+        elif ham.fock is not None:
+            e_x = ham.functional.alpha * ham.fock.exchange_energy(phi, sigma, deg)
+
+    return EnergyBreakdown(
+        kinetic=e_kin,
+        local=e_loc,
+        nonlocal_=e_nl,
+        hartree=e_h,
+        xc_semilocal=e_xc,
+        exact_exchange=e_x,
+        ewald=e_ewald,
+        g0=e_g0,
+    )

@@ -1,0 +1,62 @@
+"""Optical absorption spectrum from a dipole trace.
+
+The paper motivates hybrid-functional rt-TDDFT by absorption-spectrum
+accuracy (Sec. I); this module turns a delta-kick dipole response into
+the dipole strength function
+
+``S(w) = (2 w / pi) Im[ alpha(w) ]``,  ``alpha(w) = d(w) / kick``
+
+with exponential damping to emulate finite linewidth.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.validation import require
+
+
+def absorption_spectrum(
+    times: np.ndarray,
+    dipole: np.ndarray,
+    kick: float,
+    damping: float = 0.003,
+    pad_factor: int = 8,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Dipole strength function from a delta-kick response.
+
+    Parameters
+    ----------
+    times:
+        Uniformly spaced sample times (a.u.).
+    dipole:
+        Induced dipole component along the kick, same length as times
+        (t=0 value subtracted internally).
+    kick:
+        Kick strength (a.u.) used in the run.
+    damping:
+        Exponential window rate (hartree) — sets the line width.
+    pad_factor:
+        Zero-padding factor for frequency resolution.
+
+    Returns
+    -------
+    ``(omega, strength)``: frequencies in hartree and S(w) >= 0.
+    """
+    times = np.asarray(times, dtype=float)
+    dipole = np.asarray(dipole, dtype=float)
+    require(times.ndim == 1 and dipole.shape == times.shape, "times/dipole shape mismatch")
+    require(len(times) >= 4, "need at least 4 samples")
+    dt = times[1] - times[0]
+    require(bool(np.allclose(np.diff(times), dt, rtol=1e-6)), "times must be uniform")
+    require(abs(kick) > 0.0, "kick must be nonzero")
+
+    signal = (dipole - dipole[0]) * np.exp(-damping * (times - times[0]))
+    n = len(signal) * pad_factor
+    spectrum = np.fft.rfft(signal, n=n) * dt
+    omega = 2.0 * np.pi * np.fft.rfftfreq(n, d=dt)
+    alpha = spectrum / kick
+    strength = (2.0 * omega / np.pi) * np.imag(alpha)
+    return omega, strength

@@ -1,0 +1,31 @@
+"""Fractional occupations: Fermi-Dirac smearing and occupation-matrix algebra."""
+
+from repro.occupation.fermi import (
+    fermi_dirac,
+    find_fermi_level,
+    fermi_occupations,
+    smearing_entropy,
+)
+from repro.occupation.sigma import (
+    diagonalize_sigma,
+    density_from_orbitals_diag,
+    density_from_orbitals_pairwise,
+    hermitize,
+    initial_sigma,
+    sigma_commutator,
+    trace_sigma,
+)
+
+__all__ = [
+    "fermi_dirac",
+    "find_fermi_level",
+    "fermi_occupations",
+    "smearing_entropy",
+    "diagonalize_sigma",
+    "density_from_orbitals_diag",
+    "density_from_orbitals_pairwise",
+    "hermitize",
+    "initial_sigma",
+    "sigma_commutator",
+    "trace_sigma",
+]

@@ -1,0 +1,105 @@
+"""Occupation-matrix (sigma) algebra for mixed-state PT dynamics.
+
+In the parallel-transport gauge at finite temperature the occupation
+matrix ``sigma`` is a full Hermitian N x N matrix evolving by
+``i d(sigma)/dt = [Phi* H Phi, sigma]`` (paper Eq. (3)).  The key
+optimization of Sec. IV-A1 is the eigen-decomposition
+``sigma = Q D Q*``: rotating orbitals by Q reduces both the density and
+the Fock-exchange evaluation to pure-state (diagonal-weight) form.
+
+This module provides that decomposition plus the two density paths —
+*pairwise* (baseline, N^2 band products) and *diag* (N products) — whose
+numerical identity is a core test of the reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.grid.fftgrid import PlaneWaveGrid
+from repro.utils.validation import check_hermitian, check_square, require
+
+
+def initial_sigma(occupations: np.ndarray) -> np.ndarray:
+    """Diagonal sigma(0) from Fermi-Dirac fractions (paper Fig. 8(c))."""
+    f = np.asarray(occupations, dtype=float)
+    require(f.ndim == 1, "occupations must be a vector")
+    require(bool(np.all((f >= -1e-12) & (f <= 1.0 + 1e-12))), "occupations must lie in [0, 1]")
+    return np.diag(f).astype(complex)
+
+
+def hermitize(sigma: np.ndarray) -> np.ndarray:
+    """Conjugate-symmetrize (Alg. 1 line 13): ``(sigma + sigma*)/2``."""
+    check_square(sigma, "sigma")
+    return 0.5 * (sigma + sigma.conj().T)
+
+
+def trace_sigma(sigma: np.ndarray) -> float:
+    """Real trace of sigma — conserved particle number (per spin channel)."""
+    return float(np.trace(sigma).real)
+
+
+def diagonalize_sigma(sigma: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Eigen-decomposition ``sigma = Q diag(d) Q*`` (paper Eq. (11)).
+
+    Returns ``(d, Q)`` with eigenvalues ascending.  Requires sigma
+    Hermitian (it is kept so by :func:`hermitize` each step).
+    """
+    check_hermitian(sigma, "sigma", atol=1e-8)
+    d, q = np.linalg.eigh(sigma)
+    return d, q
+
+
+def rotate_orbitals(phi: np.ndarray, q: np.ndarray) -> np.ndarray:
+    """Basis change ``phi_tilde = Phi Q`` (orbitals are rows: ``Q^T @ Phi``)."""
+    return np.ascontiguousarray(q.T @ phi)
+
+
+def sigma_commutator(h_sub: np.ndarray, sigma: np.ndarray) -> np.ndarray:
+    """``[H_sub, sigma]`` — the generator of sigma dynamics in Eq. (6)."""
+    return h_sub @ sigma - sigma @ h_sub
+
+
+def density_from_orbitals_pairwise(
+    grid: PlaneWaveGrid,
+    phi: np.ndarray,
+    sigma: np.ndarray,
+    degeneracy: float = 1.0,
+) -> np.ndarray:
+    """Baseline mixed-state density ``rho(r) = Σ_ij sigma_ij phi_i(r) phi_j*(r)``.
+
+    O(N^2 Ng) band-pair work (paper Sec. III-C1).  ``phi``: real-space
+    orbital rows ``(N, ngrid)``.  Returns a real flat density.
+    """
+    check_square(sigma, "sigma")
+    require(sigma.shape[0] == phi.shape[0], "sigma size must match band count")
+    # rho(r) = sum_ij sigma_ij phi_i(r) conj(phi_j(r)) = diag(Phi^T sigma^T conj(Phi))
+    weighted = sigma.T @ phi  # (N, ngrid): row j = sum_i sigma_ij phi_i
+    rho = np.einsum("jr,jr->r", weighted, phi.conj())
+    return degeneracy * rho.real
+
+
+def density_from_orbitals_diag(
+    grid: PlaneWaveGrid,
+    phi: np.ndarray,
+    sigma: np.ndarray,
+    degeneracy: float = 1.0,
+) -> np.ndarray:
+    """Diag-optimized density: rotate by Q then sum ``d_i |phi_tilde_i|^2``.
+
+    Numerically identical to the pairwise path (tested), with O(N Ng)
+    accumulation after the O(N^2 Ng) rotation GEMM — the paper's Sec.
+    IV-A1 density reduction.
+    """
+    d, q = diagonalize_sigma(hermitize(sigma))
+    phi_t = rotate_orbitals(phi, q)
+    rho = np.einsum("i,ir->r", d, (phi_t.conj() * phi_t).real)
+    return degeneracy * rho
+
+
+def occupation_bounds_ok(sigma: np.ndarray, atol: float = 1e-8) -> bool:
+    """Check all eigenvalues of sigma lie in [0, 1] (physical occupations)."""
+    d, _ = diagonalize_sigma(hermitize(sigma))
+    return bool(d.min() >= -atol and d.max() <= 1.0 + atol)

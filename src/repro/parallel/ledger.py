@@ -1,0 +1,64 @@
+"""Communication cost ledger — the accounting behind Table I.
+
+Every simulated MPI operation records ``(category, bytes, seconds)``.
+Categories use the paper's Table I column names: ``alltoallv``,
+``sendrecv``, ``wait``, ``allgatherv``, ``allreduce``, ``bcast``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+TABLE1_CATEGORIES = ("alltoallv", "sendrecv", "wait", "allgatherv", "allreduce", "bcast")
+
+
+@dataclass
+class CommRecord:
+    """One communication event."""
+
+    category: str
+    nbytes: float
+    seconds: float
+    count: int = 1
+
+
+@dataclass
+class CostLedger:
+    """Accumulates modeled communication time per MPI category."""
+
+    records: List[CommRecord] = field(default_factory=list)
+
+    def add(self, category: str, nbytes: float, seconds: float, count: int = 1) -> None:
+        if category not in TABLE1_CATEGORIES:
+            raise ValueError(
+                f"unknown category {category!r}; use one of {TABLE1_CATEGORIES}"
+            )
+        self.records.append(CommRecord(category, nbytes, seconds, count))
+
+    def seconds_by_category(self) -> Dict[str, float]:
+        out = {c: 0.0 for c in TABLE1_CATEGORIES}
+        for r in self.records:
+            out[r.category] += r.seconds
+        return out
+
+    def bytes_by_category(self) -> Dict[str, float]:
+        out = {c: 0.0 for c in TABLE1_CATEGORIES}
+        for r in self.records:
+            out[r.category] += r.nbytes
+        return out
+
+    def total_seconds(self) -> float:
+        return sum(r.seconds for r in self.records)
+
+    def reset(self) -> None:
+        self.records.clear()
+
+    def merge(self, other: "CostLedger") -> None:
+        self.records.extend(other.records)
+
+    def table_row(self) -> Dict[str, float]:
+        """Table-I-shaped row: per-category seconds + total."""
+        row = self.seconds_by_category()
+        row["total"] = self.total_seconds()
+        return row

@@ -1,0 +1,130 @@
+"""Node-level shared memory for non-scalable matrices (paper Sec. IV-B3).
+
+Square N x N objects (sigma, Phi*Phi, Phi*H Phi) are identical on every
+rank; with MPI-3 shared-memory windows, ranks on one node keep a single
+copy, cutting both the footprint and the allreduce participant count by
+the ranks-per-node factor.  :class:`NodeSharedMatrices` emulates the
+window semantics (one backing array per node, all ranks see it);
+:class:`MemoryModel` is the per-rank footprint calculator behind the
+paper's weak-scaling memory limits (Sec. VIII-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.parallel.machine import MachineSpec
+from repro.utils.validation import require
+
+COMPLEX_BYTES = 16.0
+
+
+@dataclass
+class NodeSharedMatrices:
+    """Emulated MPI_Win_allocate_shared windows.
+
+    Parameters
+    ----------
+    nranks:
+        Total ranks.
+    ranks_per_node:
+        Ranks sharing one window.
+
+    Each named matrix has one backing array per *node*; ``view(rank,
+    name)`` returns the node's array (ranks on a node literally share the
+    object, as with the real extension).
+    """
+
+    nranks: int
+    ranks_per_node: int
+
+    def __post_init__(self) -> None:
+        require(self.nranks >= 1 and self.ranks_per_node >= 1, "bad rank counts")
+        self._windows: Dict[str, List[np.ndarray]] = {}
+
+    @property
+    def nnodes(self) -> int:
+        return (self.nranks + self.ranks_per_node - 1) // self.ranks_per_node
+
+    def node_of(self, rank: int) -> int:
+        require(0 <= rank < self.nranks, f"rank {rank} out of range")
+        return rank // self.ranks_per_node
+
+    def allocate(self, name: str, shape, dtype=complex) -> None:
+        """Create one zeroed window per node under ``name``."""
+        self._windows[name] = [np.zeros(shape, dtype=dtype) for _ in range(self.nnodes)]
+
+    def view(self, rank: int, name: str) -> np.ndarray:
+        """The (single) node-local array this rank sees — writes are
+        visible to all node peers, as with a real SHM window."""
+        return self._windows[name][self.node_of(rank)]
+
+    def node_leader(self, rank: int) -> bool:
+        """True for the rank that performs inter-node collectives."""
+        return rank % self.ranks_per_node == 0
+
+    def bytes_per_rank(self, name: str) -> float:
+        """Effective per-rank footprint of a window (shared across peers)."""
+        win = self._windows[name][0]
+        return win.nbytes / min(self.ranks_per_node, self.nranks)
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Per-rank memory footprint of one PT-IM(-ACE) propagation state.
+
+    Mirrors the paper's inventory: scalable wavefunction storage (the
+    band shard plus Anderson history, ~20 copies) and non-scalable N x N
+    matrices (sigma and the overlap blocks), optionally shared per node.
+    """
+
+    nbands: int
+    ngrid: int
+    anderson_history: int = 20
+    n_square_matrices: int = 4  # sigma, S, Phi*HPhi, scratch
+
+    def wavefunction_bytes_per_rank(self, nranks: int) -> float:
+        shard = self.nbands * self.ngrid * COMPLEX_BYTES / nranks
+        return shard * (2.0 + self.anderson_history)
+
+    def square_matrix_bytes(self) -> float:
+        return self.n_square_matrices * self.nbands * self.nbands * COMPLEX_BYTES
+
+    def per_rank_bytes(self, nranks: int, machine: MachineSpec, shared_memory: bool) -> float:
+        wf = self.wavefunction_bytes_per_rank(nranks)
+        sq = self.square_matrix_bytes()
+        if shared_memory:
+            sq /= min(machine.ranks_per_node, nranks)
+        return wf + sq
+
+    def fits(self, nranks: int, machine: MachineSpec, shared_memory: bool, headroom: float = 0.8) -> bool:
+        """Does the state fit in ``headroom`` x per-rank memory?"""
+        return self.per_rank_bytes(nranks, machine, shared_memory) <= headroom * machine.mem_per_rank
+
+    def max_atoms(
+        self,
+        machine: MachineSpec,
+        nranks: int,
+        bands_per_atom: float = 2.5,
+        grid_per_atom: float = 422.0,
+        shared_memory: bool = True,
+        headroom: float = 0.8,
+    ) -> int:
+        """Largest silicon system fitting in memory (weak-scaling limit)."""
+        atoms = 8
+        while True:
+            probe = atoms * 2
+            trial = MemoryModel(
+                nbands=int(bands_per_atom * probe),
+                ngrid=int(grid_per_atom * probe),
+                anderson_history=self.anderson_history,
+                n_square_matrices=self.n_square_matrices,
+            )
+            if not trial.fits(nranks, machine, shared_memory, headroom):
+                return atoms
+            atoms = probe
+            if atoms > 10**7:
+                return atoms

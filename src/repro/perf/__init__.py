@@ -1,0 +1,24 @@
+"""Performance model: operation counts, per-step time projection, and the
+generators for the paper's evaluation figures/tables."""
+
+from repro.perf.counts import SystemSize, StepCounts, variant_counts, VARIANTS
+from repro.perf.model import StepTimeModel, StepTimeBreakdown
+from repro.perf.experiments import (
+    fig9_step_by_step,
+    fig10_strong_scaling,
+    fig11_weak_scaling,
+    table1_communication,
+)
+
+__all__ = [
+    "SystemSize",
+    "StepCounts",
+    "variant_counts",
+    "VARIANTS",
+    "StepTimeModel",
+    "StepTimeBreakdown",
+    "fig9_step_by_step",
+    "fig10_strong_scaling",
+    "fig11_weak_scaling",
+    "table1_communication",
+]

@@ -1,0 +1,16 @@
+"""Norm-conserving HGH pseudopotentials (SG15-ONCV stand-in, see DESIGN.md)."""
+
+from repro.pseudo.hgh import HGHParameters, local_potential_g, projector_radial
+from repro.pseudo.database import get_pseudopotential, PSEUDO_DATABASE
+from repro.pseudo.nonlocal_ import NonlocalPseudopotential
+from repro.pseudo.local import LocalPseudopotential
+
+__all__ = [
+    "HGHParameters",
+    "local_potential_g",
+    "projector_radial",
+    "get_pseudopotential",
+    "PSEUDO_DATABASE",
+    "NonlocalPseudopotential",
+    "LocalPseudopotential",
+]

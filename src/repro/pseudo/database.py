@@ -1,0 +1,79 @@
+"""Built-in HGH (GTH-LDA) parameter sets.
+
+Values from Hartwigsen, Goedecker & Hutter, PRB 58, 3641 (1998), LDA
+column (identical to the CP2K ``GTH-PADE`` files).  Only elements needed
+by the examples and tests are included; extending the table is a matter of
+adding entries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.pseudo.hgh import HGHParameters
+
+PSEUDO_DATABASE: Dict[str, HGHParameters] = {
+    # H: local-only
+    "H": HGHParameters(
+        symbol="H",
+        zion=1.0,
+        rloc=0.20000000,
+        cloc=(-4.18023680, 0.72507482, 0.0, 0.0),
+    ),
+    # He: local-only
+    "He": HGHParameters(
+        symbol="He",
+        zion=2.0,
+        rloc=0.20000000,
+        cloc=(-9.11202340, 1.69836797, 0.0, 0.0),
+    ),
+    # Li (semicore q3 omitted; q1 version)
+    "Li": HGHParameters(
+        symbol="Li",
+        zion=1.0,
+        rloc=0.78755305,
+        cloc=(-1.89261247, 0.28605968, 0.0, 0.0),
+        rl=(0.66637518,),
+        h_diag=((1.85881111,),),
+    ),
+    # C: one s projector
+    "C": HGHParameters(
+        symbol="C",
+        zion=4.0,
+        rloc=0.34883045,
+        cloc=(-8.51377110, 1.22843203, 0.0, 0.0),
+        rl=(0.30455321,),
+        h_diag=((9.52284179,),),
+    ),
+    # Si: two s projectors, one p projector (paper's element)
+    "Si": HGHParameters(
+        symbol="Si",
+        zion=4.0,
+        rloc=0.44000000,
+        cloc=(-7.33610297, 0.0, 0.0, 0.0),
+        rl=(0.42273813, 0.48427842),
+        h_diag=((5.90692831, 3.25819622), (2.72701346,)),
+    ),
+    # Ge: same column-IV shape as Si, for substitution experiments
+    "Ge": HGHParameters(
+        symbol="Ge",
+        zion=4.0,
+        rloc=0.54000000,
+        cloc=(0.0, 0.0, 0.0, 0.0),
+        rl=(0.42186518, 0.56752887),
+        h_diag=((7.51024121, 0.58810836), (1.98829480,)),
+    ),
+}
+
+
+def get_pseudopotential(symbol: str) -> HGHParameters:
+    """Look up an element's HGH parameters.
+
+    Raises ``KeyError`` with the list of available elements if missing.
+    """
+    try:
+        return PSEUDO_DATABASE[symbol]
+    except KeyError:
+        raise KeyError(
+            f"no pseudopotential for {symbol!r}; available: {sorted(PSEUDO_DATABASE)}"
+        ) from None

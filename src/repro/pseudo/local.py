@@ -1,0 +1,72 @@
+"""Total local pseudopotential of a cell on the plane-wave grid.
+
+``V_loc(G) = (1/Ω) Σ_a S_a(G) Ṽ_a(|G|)`` with structure factors
+``S_a(G) = exp(-i G·τ_a)``; the inverse FFT gives the real-space local
+potential added to the Hamiltonian.  The divergent G=0 Coulomb part is
+dropped (it cancels with Hartree and Ewald for neutral cells); the finite
+"alpha Z" remainder enters the total energy via :attr:`energy_g0`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.grid.fftgrid import PlaneWaveGrid
+from repro.pseudo.database import get_pseudopotential
+from repro.pseudo.hgh import (
+    HGHParameters,
+    local_potential_g,
+    local_potential_g0_correction,
+)
+
+
+@dataclass
+class LocalPseudopotential:
+    """Local ionic potential evaluated once per geometry.
+
+    Attributes
+    ----------
+    v_real:
+        Real part of the local potential on the wavefunction grid, flat
+        shape ``(ngrid,)``.
+    energy_g0:
+        ``N_e * Σ_a alphaZ_a / Ω`` contribution added to the total energy
+        (the non-divergent G=0 piece).
+    """
+
+    grid: PlaneWaveGrid
+
+    def __post_init__(self) -> None:
+        grid = self.grid
+        cell = grid.cell
+        volume = cell.volume
+        q = np.sqrt(grid.gvec.g2)
+        vg = np.zeros(grid.gvec.shape, dtype=complex)
+
+        params_by_symbol: Dict[str, HGHParameters] = {}
+        g0_sum = 0.0
+        zion_total = 0.0
+        # group atoms by species: one radial evaluation per species
+        for symbol in set(cell.species):
+            params_by_symbol[symbol] = get_pseudopotential(symbol)
+        for symbol, params in params_by_symbol.items():
+            idx: List[int] = [i for i, s in enumerate(cell.species) if s == symbol]
+            v_of_q = local_potential_g(params, q)
+            sfac = grid.gvec.structure_factors(cell.positions[idx]).sum(axis=0)
+            vg += v_of_q * sfac / volume
+            g0_sum += len(idx) * local_potential_g0_correction(params) / volume
+            zion_total += len(idx) * params.zion
+
+        vg[grid.gvec.gzero_index] = 0.0
+        v_flat = grid.g_to_r(grid.to_flat(vg[None]))[0]
+        self.v_real: np.ndarray = np.ascontiguousarray(v_flat.real)
+        self.zion_total: float = zion_total
+        #: per-electron alpha-Z energy density (multiply by N_e for energy)
+        self.alpha_z_per_volume: float = g0_sum
+
+    def energy_g0(self, n_electrons: float) -> float:
+        """G=0 local-pseudopotential energy for ``n_electrons`` electrons."""
+        return self.alpha_z_per_volume * n_electrons

@@ -1,0 +1,25 @@
+"""rt-TDDFT propagators: RK4 reference, PT-IM, and PT-IM-ACE (the paper's
+core contribution)."""
+
+from repro.rt.field import GaussianLaserPulse, StaticKick, ZeroField
+from repro.rt.propagator import TDState, PropagationRecord, StepStats
+from repro.rt.rk4 import RK4Propagator
+from repro.rt.ptim import PTIMPropagator, PTIMOptions
+from repro.rt.ptim_ace import PTIMACEPropagator, PTIMACEOptions
+from repro.rt.ptcn import PTCNPropagator, PTCNOptions
+
+__all__ = [
+    "GaussianLaserPulse",
+    "StaticKick",
+    "ZeroField",
+    "TDState",
+    "PropagationRecord",
+    "StepStats",
+    "RK4Propagator",
+    "PTIMPropagator",
+    "PTIMOptions",
+    "PTIMACEPropagator",
+    "PTIMACEOptions",
+    "PTCNPropagator",
+    "PTCNOptions",
+]

@@ -1,0 +1,180 @@
+"""Shared propagation machinery: state container, trajectory recording,
+and the base propagator driving observables.
+
+All propagators evolve a :class:`TDState` ``(Phi, sigma, t)`` and append
+per-step observables to a :class:`PropagationRecord` — exactly the series
+the paper plots (dipole x, total energy, selected sigma elements).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.hamiltonian.hamiltonian import Hamiltonian
+from repro.hartree.ewald import ewald_energy
+from repro.observables.dipole import cell_centered_coordinates, dipole_moment
+from repro.observables.energy import td_total_energy
+from repro.occupation.sigma import (
+    density_from_orbitals_diag,
+    hermitize,
+    trace_sigma,
+)
+from repro.utils.validation import check_hermitian, require
+
+
+@dataclass
+class TDState:
+    """Propagated state: orbital block (rows), occupation matrix, time."""
+
+    phi: np.ndarray
+    sigma: np.ndarray
+    time: float = 0.0
+
+    def __post_init__(self) -> None:
+        require(self.phi.ndim == 2, "phi must be (nbands, ngrid)")
+        require(
+            self.sigma.shape == (self.phi.shape[0], self.phi.shape[0]),
+            "sigma must be (nbands, nbands)",
+        )
+        self.sigma = np.asarray(self.sigma, dtype=complex)
+        self.phi = np.asarray(self.phi, dtype=complex)
+
+    def copy(self) -> "TDState":
+        return TDState(self.phi.copy(), self.sigma.copy(), self.time)
+
+    @property
+    def nbands(self) -> int:
+        return self.phi.shape[0]
+
+    def particle_number(self, degeneracy: float = 1.0) -> float:
+        return degeneracy * trace_sigma(self.sigma)
+
+
+@dataclass
+class StepStats:
+    """Per-step solver statistics (SCF counts drive the perf model)."""
+
+    scf_iterations: int = 0
+    outer_iterations: int = 0
+    fock_applications: int = 0
+    ace_builds: int = 0
+    residual: float = 0.0
+    converged: bool = True
+
+
+@dataclass
+class PropagationRecord:
+    """Time series of observables collected during propagation."""
+
+    times: List[float] = field(default_factory=list)
+    dipole: List[np.ndarray] = field(default_factory=list)
+    energy: List[float] = field(default_factory=list)
+    particle_number: List[float] = field(default_factory=list)
+    sigma_samples: Dict[Tuple[int, int], List[complex]] = field(default_factory=dict)
+    field_values: List[np.ndarray] = field(default_factory=list)
+    stats: List[StepStats] = field(default_factory=list)
+
+    def as_arrays(self) -> Dict[str, np.ndarray]:
+        out = {
+            "times": np.asarray(self.times),
+            "dipole": np.asarray(self.dipole),
+            "energy": np.asarray(self.energy),
+            "particle_number": np.asarray(self.particle_number),
+            "field": np.asarray(self.field_values),
+        }
+        for key, series in self.sigma_samples.items():
+            out[f"sigma_{key[0]}_{key[1]}"] = np.asarray(series)
+        return out
+
+
+class PropagatorBase:
+    """Common observable plumbing; subclasses implement :meth:`step`.
+
+    Parameters
+    ----------
+    ham:
+        The Hamiltonian (carries functional, field, pseudos).
+    track_sigma:
+        Occupation-matrix elements to record each step, e.g.
+        ``[(0, 2), (22, 22)]`` for the paper's Fig. 8.
+    record_energy:
+        Total-energy evaluation costs a dense exchange application for
+        hybrids; disable for timing runs.
+    """
+
+    name = "base"
+
+    def __init__(
+        self,
+        ham: Hamiltonian,
+        track_sigma: Optional[List[Tuple[int, int]]] = None,
+        record_energy: bool = True,
+    ) -> None:
+        self.ham = ham
+        self.grid = ham.grid
+        self.track_sigma = list(track_sigma or [])
+        self.record_energy = record_energy
+        self._coords = cell_centered_coordinates(self.grid)
+        self._e_ewald = ewald_energy(ham.cell)
+        self.record = PropagationRecord()
+        for key in self.track_sigma:
+            self.record.sigma_samples[key] = []
+
+    # -- to be provided by subclasses -----------------------------------------
+    def step(self, state: TDState, dt: float) -> Tuple[TDState, StepStats]:
+        raise NotImplementedError
+
+    # -- driver -----------------------------------------------------------------
+    def density(self, state: TDState) -> np.ndarray:
+        rho = density_from_orbitals_diag(
+            self.grid, state.phi, hermitize(state.sigma), degeneracy=self.ham.degeneracy
+        )
+        rho = np.maximum(rho, 0.0)
+        total = rho.sum() * self.grid.dv
+        if total > 0:
+            rho *= self.ham.n_electrons / total
+        return rho
+
+    def observe(self, state: TDState, stats: Optional[StepStats] = None) -> None:
+        """Append the current observables to the record.
+
+        Moves the Hamiltonian to the state's time first — otherwise the
+        kinetic operator would carry A(t) from whatever midpoint or stage
+        the propagator evaluated last, corrupting the energy.
+        """
+        self.ham.set_time(state.time)
+        rho = self.density(state)
+        self.record.times.append(state.time)
+        self.record.dipole.append(dipole_moment(self.grid, rho, self._coords))
+        self.record.particle_number.append(state.particle_number(self.ham.degeneracy))
+        if self.ham.field is not None:
+            self.record.field_values.append(self.ham.field.electric_field(state.time))
+        else:
+            self.record.field_values.append(np.zeros(3))
+        for key in self.track_sigma:
+            i, j = key
+            self.record.sigma_samples[key].append(complex(state.sigma[i, j]))
+        if self.record_energy:
+            e = td_total_energy(self.ham, state.phi, state.sigma, self._e_ewald)
+            self.record.energy.append(e.total)
+        else:
+            self.record.energy.append(np.nan)
+        self.record.stats.append(stats or StepStats())
+
+    def propagate(
+        self, state: TDState, dt: float, n_steps: int, observe_every: int = 1
+    ) -> TDState:
+        """Run ``n_steps`` of size ``dt``, recording observables.
+
+        The initial state is recorded before the first step.
+        """
+        require(dt > 0 and n_steps >= 0, "dt must be positive, n_steps >= 0")
+        self.observe(state)
+        for n in range(n_steps):
+            state, stats = self.step(state, dt)
+            if (n + 1) % observe_every == 0:
+                self.observe(state, stats)
+        return state

@@ -1,0 +1,16 @@
+"""Ground-state SCF: eigensolver, mixing, and the driver producing the
+initial state (orbitals + Fermi-Dirac sigma) for rt-TDDFT."""
+
+from repro.scf.eigensolver import davidson, lowdin_orthonormalize
+from repro.scf.mixing import AndersonMixer, LinearMixer
+from repro.scf.groundstate import GroundState, SCFOptions, run_scf
+
+__all__ = [
+    "davidson",
+    "lowdin_orthonormalize",
+    "AndersonMixer",
+    "LinearMixer",
+    "GroundState",
+    "SCFOptions",
+    "run_scf",
+]

@@ -1,0 +1,20 @@
+"""Shared helpers: validation, timers, deterministic RNG."""
+
+from repro.utils.validation import (
+    check_hermitian,
+    check_square,
+    check_unitary,
+    require,
+)
+from repro.utils.timing import Stopwatch, Timings
+from repro.utils.rng import default_rng
+
+__all__ = [
+    "check_hermitian",
+    "check_square",
+    "check_unitary",
+    "require",
+    "Stopwatch",
+    "Timings",
+    "default_rng",
+]

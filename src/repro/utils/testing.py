@@ -1,0 +1,20 @@
+"""Helpers for constructing physical test states (used by tests and
+benchmarks; kept in the library so both can import them regardless of
+how pytest resolves module paths)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def random_hermitian_sigma(n: int, rng: np.random.Generator, scale: float = 0.3) -> np.ndarray:
+    """A physical-ish occupation matrix: Hermitian, eigenvalues in [0, 1].
+
+    Random Hermitian eigenvectors with Fermi-like eigenvalue profile —
+    the generic mixed-state sigma the PT-IM algebra must handle.
+    """
+    a = rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n))
+    h = 0.5 * (a + a.conj().T)
+    lam, u = np.linalg.eigh(h)
+    occ = 1.0 / (1.0 + np.exp(scale * np.arange(n) - 2.0))
+    return (u * occ[None, :]) @ u.conj().T

@@ -1,0 +1,64 @@
+"""Wall-clock instrumentation for the real (numerical) code paths.
+
+The paper reports per-phase times (Hamiltonian application, Fock exchange,
+Anderson mixing, ...).  :class:`Timings` accumulates named durations so the
+small-system runs can report the same breakdown that the perf model
+projects to paper scale.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+@dataclass
+class Timings:
+    """Accumulator of named wall-clock durations (seconds)."""
+
+    totals: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def region(self, name: str) -> Iterator[None]:
+        """Context manager accumulating the elapsed time under ``name``."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            dt = time.perf_counter() - t0
+            self.totals[name] = self.totals.get(name, 0.0) + dt
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def total(self) -> float:
+        """Sum of all accumulated regions."""
+        return sum(self.totals.values())
+
+    def merge(self, other: "Timings") -> None:
+        """Fold another accumulator into this one."""
+        for k, v in other.totals.items():
+            self.totals[k] = self.totals.get(k, 0.0) + v
+        for k, c in other.counts.items():
+            self.counts[k] = self.counts.get(k, 0) + c
+
+    def report(self) -> str:
+        """Human-readable table sorted by descending time."""
+        lines = [f"{'region':<32}{'time (s)':>12}{'calls':>8}"]
+        for name in sorted(self.totals, key=self.totals.get, reverse=True):
+            lines.append(f"{name:<32}{self.totals[name]:>12.4f}{self.counts[name]:>8d}")
+        return "\n".join(lines)
+
+
+class Stopwatch:
+    """Minimal restartable stopwatch."""
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+
+    def restart(self) -> None:
+        self._start = time.perf_counter()
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._start

@@ -1,0 +1,67 @@
+"""Local density approximation: Slater exchange + PZ81 correlation.
+
+Spin-unpolarized forms.  Each function returns ``(epsilon, potential)``
+where ``epsilon`` is the energy density *per electron* (so
+``E = ∫ rho eps dr``) and ``potential = d(rho*eps)/d(rho)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+_RHO_FLOOR = 1e-14
+
+# Slater exchange constant: eps_x = Cx * rho^(1/3)
+_CX = -0.75 * (3.0 / math.pi) ** (1.0 / 3.0)
+
+# PZ81 parameters (unpolarized)
+_PZ_GAMMA = -0.1423
+_PZ_BETA1 = 1.0529
+_PZ_BETA2 = 0.3334
+_PZ_A = 0.0311
+_PZ_B = -0.048
+_PZ_C = 0.0020
+_PZ_D = -0.0116
+
+
+def lda_exchange(rho: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Slater exchange energy density and potential."""
+    r = np.maximum(np.asarray(rho, float), _RHO_FLOOR)
+    eps = _CX * r ** (1.0 / 3.0)
+    v = (4.0 / 3.0) * eps
+    return eps, v
+
+
+def pz81_correlation(rho: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Perdew–Zunger 1981 parameterization of Ceperley–Alder correlation."""
+    r = np.maximum(np.asarray(rho, float), _RHO_FLOOR)
+    rs = (3.0 / (4.0 * math.pi * r)) ** (1.0 / 3.0)
+    eps = np.empty_like(rs)
+    v = np.empty_like(rs)
+
+    high = rs < 1.0  # high density: logarithmic form
+    lrs = np.log(rs[high])
+    eps_h = _PZ_A * lrs + _PZ_B + _PZ_C * rs[high] * lrs + _PZ_D * rs[high]
+    # v = eps - (rs/3) d(eps)/d(rs)
+    deps_h = _PZ_A / rs[high] + _PZ_C * (lrs + 1.0) + _PZ_D
+    eps[high] = eps_h
+    v[high] = eps_h - (rs[high] / 3.0) * deps_h
+
+    low = ~high
+    sq = np.sqrt(rs[low])
+    denom = 1.0 + _PZ_BETA1 * sq + _PZ_BETA2 * rs[low]
+    eps_l = _PZ_GAMMA / denom
+    deps_l = -_PZ_GAMMA * (0.5 * _PZ_BETA1 / sq + _PZ_BETA2) / denom**2
+    eps[low] = eps_l
+    v[low] = eps_l - (rs[low] / 3.0) * deps_l
+    return eps, v
+
+
+def lda_xc(rho: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Combined LDA exchange-correlation ``(eps_xc, v_xc)``."""
+    ex, vx = lda_exchange(rho)
+    ec, vc = pz81_correlation(rho)
+    return ex + ec, vx + vc

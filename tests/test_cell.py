@@ -1,0 +1,83 @@
+"""Unit cells and the paper's silicon supercell family."""
+
+import numpy as np
+import pytest
+
+from repro.constants import SILICON_LATTICE_BOHR
+from repro.grid.cell import (
+    UnitCell,
+    paper_system_atoms,
+    silicon_cubic_cell,
+    silicon_supercell,
+)
+
+
+def test_conventional_cell_has_8_atoms():
+    cell = silicon_cubic_cell()
+    assert cell.natom == 8
+    assert cell.species == ("Si",) * 8
+
+
+def test_volume_is_lattice_cubed():
+    cell = silicon_cubic_cell()
+    assert cell.volume == pytest.approx(SILICON_LATTICE_BOHR**3, rel=1e-12)
+
+
+def test_reciprocal_lattice_duality():
+    cell = silicon_cubic_cell()
+    product = cell.lattice @ cell.reciprocal.T
+    assert np.allclose(product, 2.0 * np.pi * np.eye(3), atol=1e-12)
+
+
+def test_supercell_atom_counts_match_paper():
+    # paper Sec. VI quotes "1x1x3" for 48 atoms, but 3 cells x 8 = 24;
+    # the 48-atom system needs 6 conventional cells (1x2x3) — the rest of
+    # the paper's series (48...3072 = 6...384 cells x 8) confirms it.
+    assert silicon_supercell((1, 2, 3)).natom == 48
+    assert silicon_supercell((2, 2, 3)).natom == 96
+    assert silicon_supercell((6, 8, 8)).natom == 3072
+
+
+def test_supercell_volume_scales():
+    base = silicon_cubic_cell()
+    sc = base.supercell((2, 3, 4))
+    assert sc.volume == pytest.approx(24.0 * base.volume, rel=1e-10)
+
+
+def test_supercell_preserves_density_of_atoms():
+    base = silicon_cubic_cell()
+    sc = base.supercell((2, 2, 2))
+    assert sc.natom / sc.volume == pytest.approx(base.natom / base.volume, rel=1e-10)
+
+
+def test_nearest_neighbor_distance_diamond():
+    # diamond structure: d_nn = a * sqrt(3) / 4 = 2.35 angstrom
+    cell = silicon_cubic_cell()
+    d = cell.minimum_image_distance(cell.positions[0], cell.positions[4])
+    assert d == pytest.approx(SILICON_LATTICE_BOHR * np.sqrt(3.0) / 4.0, rel=1e-10)
+
+
+def test_positions_wrapped_to_unit_interval():
+    cell = UnitCell(np.eye(3) * 5.0, ("H",), np.array([[1.25, -0.5, 2.0]]))
+    assert np.all(cell.positions >= 0.0)
+    assert np.all(cell.positions < 1.0)
+
+
+def test_bad_lattice_rejected():
+    with pytest.raises(ValueError):
+        UnitCell(np.zeros((3, 3)), ("H",), np.zeros((1, 3)))
+
+
+def test_species_positions_mismatch_rejected():
+    with pytest.raises(ValueError):
+        UnitCell(np.eye(3), ("H", "H"), np.zeros((1, 3)))
+
+
+def test_paper_system_list():
+    assert paper_system_atoms() == [48, 96, 192, 384, 768, 1536, 3072]
+
+
+def test_cartesian_fractional_consistency():
+    cell = silicon_cubic_cell()
+    cart = cell.cartesian_positions()
+    assert np.allclose(cart, cell.fractional_to_cartesian(cell.positions))

@@ -1,0 +1,46 @@
+"""Unit conversions used throughout the package."""
+
+import math
+
+import pytest
+
+from repro import constants as C
+
+
+def test_bohr_angstrom_roundtrip():
+    assert C.BOHR_PER_ANGSTROM * C.ANGSTROM_PER_BOHR == pytest.approx(1.0, rel=1e-12)
+
+
+def test_silicon_lattice_constant():
+    # 5.43 angstrom in bohr
+    assert C.SILICON_LATTICE_BOHR == pytest.approx(10.2612, abs=1e-3)
+
+
+def test_attosecond_conversion():
+    # the paper's 50 as step is about 2.067 a.t.u.
+    assert 50.0 * C.AU_PER_ATTOSECOND == pytest.approx(2.0671, abs=1e-3)
+
+
+def test_femtosecond_is_thousand_attoseconds():
+    assert C.AU_PER_FEMTOSECOND == pytest.approx(1000.0 * C.AU_PER_ATTOSECOND, rel=1e-12)
+
+
+def test_laser_omega_380nm():
+    # 380 nm photon = 3.263 eV
+    omega = C.laser_omega_from_wavelength_nm(380.0)
+    assert omega * C.EV_PER_HARTREE == pytest.approx(3.263, abs=0.01)
+
+
+def test_kelvin_to_hartree_8000k():
+    # 8000 K ~ 0.0253 Ha ~ 0.69 eV
+    kt = C.kelvin_to_hartree(8000.0)
+    assert kt == pytest.approx(0.02533, abs=2e-4)
+
+
+def test_hse_parameters():
+    assert C.HSE06_ALPHA == 0.25
+    assert C.HSE06_OMEGA == pytest.approx(0.11)
+
+
+def test_speed_of_light_inverse_alpha():
+    assert C.SPEED_OF_LIGHT_AU == pytest.approx(137.036, abs=1e-3)

@@ -1,0 +1,98 @@
+"""Extensions beyond the paper's core: PT-CN propagator, current density."""
+
+import numpy as np
+import pytest
+
+from repro.constants import AU_PER_ATTOSECOND
+from repro.observables.current import current_density
+from repro.rt import PTCNOptions, PTCNPropagator, PTIMOptions, PTIMPropagator, TDState, ZeroField
+from repro.rt.gauge import density_matrix_distance
+
+DT = 50.0 * AU_PER_ATTOSECOND
+
+
+def test_ptcn_matches_ptim_for_constant_sigma(lda_ground_state):
+    """With sigma diagonal and (nearly) stationary, PT-CN == PT-IM to the
+    integrator order — the regime where the older method is valid."""
+    ham, gs = lda_ground_state
+    ham.field = ZeroField()
+    state = TDState(gs.orbitals.copy(), gs.sigma.copy(), 0.0)
+
+    cn = PTCNPropagator(ham, PTCNOptions(density_tol=1e-8, max_scf=30), record_energy=False)
+    st_cn, stats_cn = cn.step(state.copy(), DT)
+
+    pt = PTIMPropagator(ham, PTIMOptions(density_tol=1e-8, max_scf=30), record_energy=False)
+    st_pt, _ = pt.step(state.copy(), DT)
+
+    dist = density_matrix_distance(ham.grid, st_cn.phi, st_cn.sigma, st_pt.phi, st_pt.sigma)
+    # agreement is limited by the ground state's residual non-stationarity
+    # (density converged to 1e-6): PT-IM lets sigma respond to it, PT-CN
+    # freezes sigma, so the states differ at O(dt x residual)
+    assert dist < 2e-3
+    assert stats_cn.converged
+
+
+def test_ptcn_sigma_frozen(lda_ground_state):
+    ham, gs = lda_ground_state
+    ham.field = ZeroField()
+    state = TDState(gs.orbitals.copy(), gs.sigma.copy(), 0.0)
+    cn = PTCNPropagator(ham, record_energy=False)
+    out, _ = cn.step(state, DT)
+    assert np.allclose(out.sigma, state.sigma)
+
+
+def test_ptcn_orthonormal_output(lda_ground_state):
+    ham, gs = lda_ground_state
+    ham.field = ZeroField()
+    cn = PTCNPropagator(ham, record_energy=False)
+    out, _ = cn.step(TDState(gs.orbitals.copy(), gs.sigma.copy(), 0.0), DT)
+    s = ham.grid.inner(out.phi, out.phi)
+    assert np.abs(s - np.eye(out.nbands)).max() < 1e-10
+
+
+# ---------------- current density -----------------------------------------------
+def test_current_zero_for_real_ground_state(lda_ground_state):
+    """A time-reversal-symmetric ground state carries no current."""
+    ham, gs = lda_ground_state
+    j = current_density(ham.grid, gs.orbitals, gs.sigma)
+    assert np.abs(j).max() < 1e-6
+
+
+def test_current_diamagnetic_response():
+    """A constant A on a current-free state gives j = -A * n_e / volume
+    plus the (small) paramagnetic response of the frozen orbitals."""
+    import tests.conftest  # noqa: F401
+
+    from repro.grid import PlaneWaveGrid, silicon_cubic_cell
+    from repro.utils.rng import default_rng
+
+    grid = PlaneWaveGrid(silicon_cubic_cell(), ecut=2.0)
+    rng = default_rng(0)
+    phi = grid.random_orbitals(4, rng)
+    # build a time-reversal pair so the paramagnetic term cancels
+    phi = np.concatenate([phi, phi.conj()], axis=0)
+    from repro.scf.eigensolver import lowdin_orthonormalize
+
+    phi = lowdin_orthonormalize(grid, phi)
+    sigma = np.eye(8, dtype=complex) * 0.5
+    a = np.array([0.02, 0.0, 0.0])
+    j0 = current_density(grid, phi, sigma, vector_potential=None)
+    j1 = current_density(grid, phi, sigma, vector_potential=a)
+    n_e = 2.0 * 0.5 * 8
+    expected_shift = -a * n_e / grid.cell.volume
+    assert np.allclose(j1 - j0, expected_shift, atol=1e-12)
+
+
+def test_current_gauge_covariant_sign():
+    """Electrons drift opposite to A: j_x < 0 for A_x > 0 on a symmetric state."""
+    from repro.grid import PlaneWaveGrid, silicon_cubic_cell
+    from repro.utils.rng import default_rng
+    from repro.scf.eigensolver import lowdin_orthonormalize
+
+    grid = PlaneWaveGrid(silicon_cubic_cell(), ecut=2.0)
+    rng = default_rng(1)
+    phi = grid.random_orbitals(3, rng)
+    phi = lowdin_orthonormalize(grid, np.concatenate([phi, phi.conj()], axis=0))
+    sigma = np.eye(6, dtype=complex)
+    j = current_density(grid, phi, sigma, vector_potential=np.array([0.05, 0, 0]))
+    assert j[0] < 0.0

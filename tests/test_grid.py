@@ -1,0 +1,133 @@
+"""G-vectors, FFT grids, transforms and orbital-block linear algebra."""
+
+import numpy as np
+import pytest
+
+from repro.grid import PlaneWaveGrid, silicon_cubic_cell
+from repro.grid.gvectors import GVectors, minimal_fft_shape, _next_fast_even
+from repro.utils.rng import default_rng
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return PlaneWaveGrid(silicon_cubic_cell(), ecut=3.0)
+
+
+def test_next_fast_even():
+    assert _next_fast_even(7) == 8
+    assert _next_fast_even(11) == 12
+    assert _next_fast_even(13) == 14
+    assert _next_fast_even(4) == 4
+
+
+def test_minimal_fft_shape_resolves_cutoff():
+    cell = silicon_cubic_cell()
+    shape = minimal_fft_shape(cell, 5.0, factor=1.0)
+    gv = GVectors(cell, shape, 5.0)
+    # the sphere must fit strictly inside the box
+    assert gv.npw < np.prod(shape)
+    assert gv.npw > 100
+
+
+def test_gzero_is_first_point(grid):
+    assert grid.gvec.g2[0, 0, 0] == pytest.approx(0.0)
+    assert grid.gvec.sphere_mask[0, 0, 0]
+
+
+def test_kinetic_is_half_g2(grid):
+    assert np.allclose(grid.gvec.kinetic, 0.5 * grid.gvec.g2)
+
+
+def test_structure_factor_at_origin_is_one(grid):
+    s = grid.gvec.structure_factor(np.zeros(3))
+    assert np.allclose(s, 1.0)
+
+
+def test_structure_factor_unit_modulus(grid):
+    s = grid.gvec.structure_factor(np.array([0.13, 0.57, 0.91]))
+    assert np.allclose(np.abs(s), 1.0)
+
+
+def test_structure_factors_batch_matches_single(grid):
+    pos = np.array([[0.1, 0.2, 0.3], [0.7, 0.5, 0.9]])
+    batch = grid.gvec.structure_factors(pos)
+    for i in range(2):
+        assert np.allclose(batch[i], grid.gvec.structure_factor(pos[i]))
+
+
+def test_fft_roundtrip(grid):
+    rng = default_rng(0)
+    f = rng.standard_normal(grid.ngrid) + 1j * rng.standard_normal(grid.ngrid)
+    back = grid.g_to_r(grid.r_to_g(f))
+    assert np.allclose(back, f, atol=1e-12)
+
+
+def test_forward_transform_of_plane_wave(grid):
+    """A single plane wave e^{iGr} has coefficient 1 at its own G."""
+    m = (1, 2, 0)  # integer Miller indices
+    n1, n2, n3 = grid.shape
+    i, j, k = np.meshgrid(np.arange(n1), np.arange(n2), np.arange(n3), indexing="ij")
+    phase = 2j * np.pi * (m[0] * i / n1 + m[1] * j / n2 + m[2] * k / n3)
+    f = np.exp(phase).ravel()
+    fg = grid.r_to_g(f)
+    box = grid.to_box(fg[None])[0]
+    assert box[m] == pytest.approx(1.0, abs=1e-12)
+    box[m] = 0.0
+    assert np.abs(box).max() < 1e-12
+
+
+def test_quadrature_weight(grid):
+    assert grid.dv * grid.ngrid == pytest.approx(grid.cell.volume, rel=1e-12)
+
+
+def test_random_orbitals_orthonormal(grid):
+    rng = default_rng(1)
+    phi = grid.random_orbitals(6, rng)
+    s = grid.inner(phi, phi)
+    assert np.abs(s - np.eye(6)).max() < 1e-12
+
+
+def test_random_orbitals_respect_cutoff(grid):
+    rng = default_rng(2)
+    phi = grid.random_orbitals(3, rng)
+    fg = grid.r_to_g(phi)
+    mask = grid.to_flat(grid.gvec.sphere_mask[None])[0]
+    assert np.abs(fg[:, ~mask]).max() < 1e-12
+
+
+def test_apply_cutoff_idempotent(grid):
+    rng = default_rng(3)
+    fg = rng.standard_normal((2, grid.ngrid)).astype(complex)
+    once = grid.apply_cutoff(fg.copy())
+    twice = grid.apply_cutoff(once.copy())
+    assert np.allclose(once, twice)
+
+
+def test_low_pass_is_projection(grid):
+    rng = default_rng(4)
+    f = rng.standard_normal(grid.ngrid).astype(complex)
+    p1 = grid.low_pass(f)
+    p2 = grid.low_pass(p1)
+    assert np.allclose(p1, p2, atol=1e-12)
+
+
+def test_dual_grid_interpolation_roundtrip():
+    grid = PlaneWaveGrid(silicon_cubic_cell(), ecut=2.0, dual=2)
+    rng = default_rng(5)
+    fg = rng.standard_normal((1, grid.ngrid)) + 0j
+    grid.apply_cutoff(fg)
+    f = grid.g_to_r(fg)
+    dense = grid.interpolate_to_dense(f)
+    back = grid.restrict_from_dense(dense)
+    assert np.allclose(back, f, atol=1e-10)
+    # interpolation preserves the integral
+    assert dense[0].sum() * grid.dv_dense == pytest.approx(
+        f[0].sum() * grid.dv, rel=1e-10
+    )
+
+
+def test_bandbyband_matches_batched(grid):
+    rng = default_rng(6)
+    f = rng.standard_normal((4, grid.ngrid)) + 1j * rng.standard_normal((4, grid.ngrid))
+    assert np.allclose(grid.r_to_g(f), grid.r_to_g(f, bandbyband=True))
+    assert np.allclose(grid.g_to_r(f), grid.g_to_r(f, bandbyband=True))

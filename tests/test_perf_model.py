@@ -1,0 +1,251 @@
+"""Performance model: count validation against the real numerics, and the
+paper-shape assertions for Figs. 9-11 and Table I."""
+
+import numpy as np
+import pytest
+
+from repro.grid import PlaneWaveGrid, silicon_cubic_cell
+from repro.hamiltonian.fock import FockExchangeOperator
+from repro.occupation.sigma import hermitize
+from repro.perf.calibrate import (
+    FIG9_SPEEDUPS,
+    FIG9_TOTAL_SPEEDUP,
+    HEADLINE_3072_SECONDS,
+    STRONG_SCALING,
+    TABLE1,
+    WEAK_ANCHORS,
+)
+from repro.perf.counts import (
+    ACE_INNER_PER_OUTER,
+    ACE_OUTER_PER_STEP,
+    PTIM_SCF_PER_STEP,
+    SystemSize,
+    VARIANTS,
+    variant_counts,
+)
+from repro.perf.experiments import (
+    fig9_step_by_step,
+    fig10_strong_scaling,
+    fig11_weak_scaling,
+    format_table1,
+    table1_communication,
+)
+from repro.perf.model import StepTimeModel
+from repro.parallel.machine import A100_GPU, FUGAKU_ARM
+from repro.utils.rng import default_rng
+from repro.xc.kernels import erfc_screened_kernel
+from repro.utils.testing import random_hermitian_sigma
+
+
+# ---------------- system sizes ------------------------------------------------------
+def test_system_size_paper_relations():
+    s = SystemSize(1536)
+    assert s.nbands == 3840  # paper Sec. VI: N = 1536*2 + 768
+    assert s.ngrid == 648000  # 60 x 90 x 120
+    assert s.n_electrons == 6144
+
+
+def test_scf_statistics_match_paper():
+    assert PTIM_SCF_PER_STEP == 25
+    assert ACE_OUTER_PER_STEP == 5
+    assert ACE_INNER_PER_OUTER == 13
+
+
+# ---------------- count validation against instrumented numerics ----------------------
+def test_fock_fft_counts_match_analytic():
+    """The formulas projecting to paper scale equal the measured counts."""
+    grid = PlaneWaveGrid(silicon_cubic_cell(), ecut=2.0)
+    rng = default_rng(0)
+    n = 4
+    phi = grid.random_orbitals(n, rng)
+    sigma = hermitize(random_hermitian_sigma(n, rng))
+    fock = FockExchangeOperator(grid, erfc_screened_kernel(grid), batch_size=64)
+
+    eng = grid.engine
+    snap = eng.counters.snapshot()
+    fock.apply_mixed_tripleloop(phi, sigma)
+    measured_triple = eng.counters.since(snap).transforms
+    # Alg. 2 with a dense sigma: 2 N^3 transforms — the analytic count
+    # with fill factor 1 (all sigma entries active)
+    c = variant_counts(SystemSize(8), 1, "BL", bl_sigma_fill=1.0)
+    # per application: 2 * N * N * (fill*N); here derive directly:
+    assert measured_triple == 2 * n**3
+
+    snap = eng.counters.snapshot()
+    fock.apply_mixed_via_diagonalization(phi, sigma)
+    measured_diag = eng.counters.since(snap).transforms
+    assert measured_diag <= 2 * n**2
+
+
+def test_variant_counts_fock_reduction():
+    """Diag removes the O(N) factor; ACE removes the 25 -> 5 factor."""
+    size = SystemSize(384)
+    bl = variant_counts(size, 96, "BL", bl_sigma_fill=1.0)
+    diag = variant_counts(size, 96, "Diag")
+    ace = variant_counts(size, 96, "ACE")
+    assert bl.fft_transforms > diag.fft_transforms * 50
+    assert diag.fft_transforms > ace.fft_transforms * 3
+
+
+def test_variant_counts_comm_patterns():
+    size = SystemSize(384)
+    ace = variant_counts(size, 96, "ACE")
+    ring = variant_counts(size, 96, "Ring")
+    asyn = variant_counts(size, 96, "Async")
+    assert ace.bcast_bytes > 0 and ace.sendrecv_bytes == 0
+    assert ring.sendrecv_bytes > 0 and ring.bcast_bytes == 0
+    assert asyn.async_steps > 0 and asyn.sendrecv_bytes == 0 and asyn.bcast_bytes == 0
+    assert asyn.shared_memory
+
+
+def test_unknown_variant_rejected():
+    with pytest.raises(ValueError):
+        variant_counts(SystemSize(48), 4, "Turbo")
+
+
+# ---------------- Fig. 9 shape ---------------------------------------------------------
+@pytest.mark.parametrize("machine", ["fugaku-arm", "a100-gpu"])
+def test_fig9_every_optimization_helps(machine):
+    r = fig9_step_by_step(machine)
+    times = r["step_seconds"]
+    order = [times[v] for v in VARIANTS]
+    assert all(a > b for a, b in zip(order, order[1:])), "each stage must be faster"
+
+
+@pytest.mark.parametrize("machine", ["fugaku-arm", "a100-gpu"])
+def test_fig9_diag_speedup_band(machine):
+    r = fig9_step_by_step(machine)
+    model = r["incremental_speedup"]["Diag"]
+    paper = FIG9_SPEEDUPS[machine]["Diag"]
+    assert paper / 2.0 < model < paper * 2.0
+
+
+@pytest.mark.parametrize("machine", ["fugaku-arm", "a100-gpu"])
+def test_fig9_ace_speedup_band(machine):
+    r = fig9_step_by_step(machine)
+    model = r["incremental_speedup"]["ACE"]
+    paper = FIG9_SPEEDUPS[machine]["ACE"]
+    assert paper / 2.5 < model < paper * 2.5
+
+
+@pytest.mark.parametrize("machine", ["fugaku-arm", "a100-gpu"])
+def test_fig9_comm_optimizations_modest_but_positive(machine):
+    r = fig9_step_by_step(machine)
+    for stage in ("Ring", "Async"):
+        model = r["incremental_speedup"][stage]
+        assert 1.0 <= model < 1.6
+
+
+@pytest.mark.parametrize("machine", ["fugaku-arm", "a100-gpu"])
+def test_fig9_total_speedup_order_of_magnitude(machine):
+    r = fig9_step_by_step(machine)
+    paper = FIG9_TOTAL_SPEEDUP[machine]
+    assert paper / 2.5 < r["total_speedup"] < paper * 2.5
+
+
+# ---------------- Table I shape ----------------------------------------------------------
+@pytest.mark.parametrize("machine", ["fugaku-arm", "a100-gpu"])
+def test_table1_total_comm_decreases_ace_ring_async(machine):
+    r = table1_communication(machine)
+    rows = r["rows"]
+    assert rows["ACE"]["total_comm"] > rows["Ring"]["total_comm"] > rows["Async"]["total_comm"]
+
+
+@pytest.mark.parametrize("machine", ["fugaku-arm", "a100-gpu"])
+def test_table1_bcast_dominates_ace_then_vanishes(machine):
+    rows = table1_communication(machine)["rows"]
+    assert rows["ACE"]["bcast"] > 0.5 * rows["ACE"]["total_comm"]
+    assert rows["Ring"]["bcast"] < 1.0
+    assert rows["Ring"]["sendrecv"] > 0.0
+    assert rows["Async"]["sendrecv"] == 0.0
+    assert rows["Async"]["wait"] > 0.0
+
+
+@pytest.mark.parametrize("machine", ["fugaku-arm", "a100-gpu"])
+@pytest.mark.parametrize("variant", ["ACE", "Ring", "Async"])
+def test_table1_categories_within_factor_three(machine, variant):
+    """Every category the paper reports above 1 s lands within 3x."""
+    rows = table1_communication(machine)["rows"]
+    paper = TABLE1[machine][variant]
+    for cat in ("alltoallv", "sendrecv", "wait", "allreduce", "bcast"):
+        if paper[cat] >= 1.0:
+            model = rows[variant][cat]
+            assert paper[cat] / 3.0 < model < paper[cat] * 3.0, (cat, model, paper[cat])
+
+
+def test_table1_gpu_comm_ratio_higher_than_arm():
+    """Paper Sec. VIII-D: GPU platform has the higher communication share."""
+    arm = table1_communication("fugaku-arm")["rows"]["ACE"]["comm_ratio"]
+    gpu = table1_communication("a100-gpu")["rows"]["ACE"]["comm_ratio"]
+    assert gpu > arm
+
+
+def test_format_table1_renders():
+    text = format_table1(table1_communication("fugaku-arm"))
+    assert "bcast" in text and "ACE" in text
+
+
+# ---------------- Fig. 10 strong scaling ----------------------------------------------------
+@pytest.mark.parametrize("machine", ["fugaku-arm", "a100-gpu"])
+def test_strong_scaling_speedup_sublinear(machine):
+    cfg = STRONG_SCALING[machine]
+    n0, n1 = cfg["nodes"]
+    nodes = [n0, 2 * n0, 4 * n0, n1]
+    r = fig10_strong_scaling(machine, cfg["natom"], nodes)
+    effs = [row["efficiency"] for row in r["rows"]]
+    assert effs[0] == pytest.approx(1.0)
+    assert all(e1 >= e2 - 1e-9 for e1, e2 in zip(effs, effs[1:])), "efficiency must fall"
+    assert effs[-1] < 0.75  # far from ideal at 16-32x, like the paper
+    # but still a real speedup
+    assert r["rows"][-1]["speedup"] > 3.0
+
+
+def test_strong_scaling_arm_at_least_as_efficient_as_gpu_16x():
+    """Paper: the ARM platform scales better (Sec. VIII-B)."""
+    arm = fig10_strong_scaling("fugaku-arm", 768, [15, 240])
+    gpu = fig10_strong_scaling("a100-gpu", 1536, [12, 192])
+    assert arm["rows"][-1]["efficiency"] >= gpu["rows"][-1]["efficiency"] - 0.02
+
+
+# ---------------- Fig. 11 weak scaling ---------------------------------------------------------
+@pytest.mark.parametrize("machine", ["fugaku-arm", "a100-gpu"])
+def test_weak_scaling_monotone_and_below_ideal_growth(machine):
+    r = fig11_weak_scaling(machine)
+    secs = [row["seconds"] for row in r["rows"]]
+    assert all(b > a for a, b in zip(secs, secs[1:])), "time grows with system"
+    # small systems grow slower than the O(N^2)-per-node ideal (paper's
+    # observation: doubling is cheaper than 4x until Fock dominates)
+    first_ratio = secs[1] / secs[0]
+    last_ratio = secs[-1] / secs[-2]
+    assert first_ratio < 4.0
+    assert last_ratio > first_ratio * 0.8
+
+
+def test_weak_scaling_gpu_anchors_within_band():
+    r = fig11_weak_scaling("a100-gpu")
+    by_atom = {row["natom"]: row["seconds"] for row in r["rows"]}
+    for (machine, natom), paper_t in WEAK_ANCHORS.items():
+        model_t = by_atom[natom]
+        assert paper_t / 2.5 < model_t < paper_t * 2.5, (natom, model_t, paper_t)
+
+
+def test_headline_3072_atoms_time_band():
+    """429.3 s per 50 as step for 3072 atoms on 192 GPU nodes."""
+    model = StepTimeModel(A100_GPU)
+    t = model.step_seconds(SystemSize(3072), 4 * 192, "Async")
+    assert HEADLINE_3072_SECONDS / 2.0 < t < HEADLINE_3072_SECONDS * 2.0
+
+
+def test_arm_fig9_nodes_step_time_magnitude():
+    """Sanity: 384 atoms on 240 ARM nodes lands in minutes, not hours."""
+    model = StepTimeModel(FUGAKU_ARM)
+    t = model.step_seconds(SystemSize(384), 960, "Async")
+    assert 10.0 < t < 500.0
+
+
+def test_bl_sigma_fill_drives_bl_cost():
+    m = StepTimeModel(FUGAKU_ARM)
+    size = SystemSize(384)
+    lo = variant_counts(size, 960, "BL", bl_sigma_fill=0.005)
+    hi = variant_counts(size, 960, "BL", bl_sigma_fill=0.05)
+    assert hi.fft_transforms > 5 * lo.fft_transforms

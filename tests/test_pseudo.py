@@ -1,0 +1,132 @@
+"""HGH pseudopotentials: tabulated values, projector norms, operators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.grid import PlaneWaveGrid, silicon_cubic_cell
+from repro.pseudo.database import PSEUDO_DATABASE, get_pseudopotential
+from repro.pseudo.hgh import (
+    h_matrix,
+    local_potential_g,
+    local_potential_g0_correction,
+    local_potential_r,
+    projector_fourier,
+    projector_radial,
+)
+from repro.pseudo.local import LocalPseudopotential
+from repro.pseudo.nonlocal_ import NonlocalPseudopotential
+from repro.utils.rng import default_rng
+
+
+def test_silicon_h12_matches_literature():
+    """HGH relation reproduces the tabulated Si value h^0_12 = -1.26189."""
+    si = get_pseudopotential("Si")
+    h = h_matrix(si, 0)
+    assert h[0, 1] == pytest.approx(-1.26189397, abs=1e-5)
+    assert h[0, 1] == h[1, 0]
+
+
+def test_h_matrix_symmetric_all_elements():
+    for symbol, params in PSEUDO_DATABASE.items():
+        for l in range(params.lmax + 1):
+            h = h_matrix(params, l)
+            assert np.allclose(h, h.T), symbol
+
+
+def test_projector_radial_normalized():
+    """HGH projectors obey ∫ p(r)^2 r^2 dr = 1."""
+    si = get_pseudopotential("Si")
+    r = np.linspace(0.0, 10.0, 4001)
+    for l in range(si.lmax + 1):
+        for i in range(si.nproj(l)):
+            p = projector_radial(si, l, i, r)
+            norm = np.trapezoid(p**2 * r**2, r)
+            assert norm == pytest.approx(1.0, rel=1e-6), (l, i)
+
+
+def test_projector_fourier_q0_limit():
+    """p~(q=0) = 4π ∫ p r^2 dr for l=0, and 0 for l=1."""
+    si = get_pseudopotential("Si")
+    r = np.linspace(0.0, 10.0, 4001)
+    p0 = projector_radial(si, 0, 0, r)
+    expected = 4.0 * math.pi * np.trapezoid(p0 * r**2, r)
+    assert projector_fourier(si, 0, 0, np.array([0.0]))[0] == pytest.approx(expected, rel=1e-4)
+    assert projector_fourier(si, 1, 0, np.array([0.0]))[0] == pytest.approx(0.0, abs=1e-10)
+
+
+def test_local_potential_r_coulomb_tail():
+    """V_loc -> -Z/r at large r."""
+    si = get_pseudopotential("Si")
+    r = np.array([8.0, 12.0])
+    v = local_potential_r(si, r)
+    assert np.allclose(v, -si.zion / r, rtol=1e-8)
+
+
+def test_local_potential_g_fourier_consistency():
+    """Numerical radial transform of V + Z erf-tail matches the analytic form."""
+    si = get_pseudopotential("Si")
+    q = np.array([0.8, 1.7, 3.2])
+    r = np.linspace(1e-5, 30.0, 60001)
+    v_r = local_potential_r(si, r)
+    # subtract the long-range -Z/r tail analytically: FT(-Z/r) = -4 pi Z / q^2
+    short = v_r + si.zion / r * np.vectorize(math.erf)(r / (math.sqrt(2.0) * si.rloc))
+    analytic = local_potential_g(si, q)
+    for i, qi in enumerate(q):
+        num_short = 4.0 * math.pi * np.trapezoid(short * np.sin(qi * r) / qi * r, r)
+        gauss_tail = -4.0 * math.pi * si.zion / qi**2 * math.exp(-0.5 * (qi * si.rloc) ** 2)
+        assert num_short + gauss_tail == pytest.approx(analytic[i], rel=1e-5)
+
+
+def test_g0_correction_positive_for_si():
+    si = get_pseudopotential("Si")
+    # alpha-Z for Si HGH is a known negative number (C1 < 0 dominates)
+    val = local_potential_g0_correction(si)
+    assert np.isfinite(val)
+
+
+def test_database_lookup_error_lists_available():
+    with pytest.raises(KeyError, match="available"):
+        get_pseudopotential("Xx")
+
+
+def test_local_pseudopotential_real(small_grid):
+    lp = LocalPseudopotential(small_grid)
+    assert lp.v_real.shape == (small_grid.ngrid,)
+    assert lp.zion_total == pytest.approx(32.0)  # 8 Si x 4 valence
+    # the G=0 component is zeroed, so the mean vanishes; the wells at the
+    # atom sites must be deeply attractive
+    assert abs(lp.v_real.mean()) < 1e-12
+    assert lp.v_real.min() < -1.0
+
+
+def test_nonlocal_projector_count(small_grid):
+    nl = NonlocalPseudopotential(small_grid)
+    # Si: 2 s projectors + 1 p projector x 3 m-channels = 5 per atom
+    assert nl.nprojectors == 8 * 5
+    assert nl.coupling.shape == (40, 40)
+    assert np.allclose(nl.coupling, nl.coupling.T)
+
+
+def test_nonlocal_hermitian(small_grid):
+    nl = NonlocalPseudopotential(small_grid)
+    rng = default_rng(9)
+    phi = small_grid.random_orbitals(3, rng)
+    phi_g = small_grid.r_to_g(phi)
+    v_g = nl.apply_g(phi_g)
+    # <x|V|y> == <V x|y> on the coefficient inner product
+    m = small_grid.cell.volume * (phi_g.conj() @ v_g.T)
+    assert np.abs(m - m.conj().T).max() < 1e-10
+
+
+def test_nonlocal_energy_real_and_matches_apply(small_grid):
+    nl = NonlocalPseudopotential(small_grid)
+    rng = default_rng(10)
+    phi = small_grid.random_orbitals(4, rng)
+    phi_g = small_grid.r_to_g(phi)
+    w = np.array([1.0, 0.5, 0.25, 0.0])
+    e = nl.energy(phi_g, w)
+    v_g = nl.apply_g(phi_g)
+    per_band = small_grid.cell.volume * np.einsum("ng,ng->n", phi_g.conj(), v_g).real
+    assert e == pytest.approx(float(np.dot(w, per_band)), rel=1e-12)

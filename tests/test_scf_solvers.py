@@ -1,0 +1,242 @@
+"""Eigensolver, mixers, and the ground-state SCF driver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid import PlaneWaveGrid, silicon_cubic_cell
+from repro.hamiltonian import Hamiltonian
+from repro.scf.eigensolver import canonical_orthonormalize, davidson, lowdin_orthonormalize
+from repro.scf.groundstate import default_nbands
+from repro.scf.mixing import AndersonMixer, KerkerMixer, LinearMixer
+from repro.utils.rng import default_rng
+from repro.xc.hybrid import make_functional
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return PlaneWaveGrid(silicon_cubic_cell(), ecut=2.5)
+
+
+@pytest.fixture(scope="module")
+def ham(grid):
+    h = Hamiltonian(grid, make_functional("lda"))
+    rho = np.full(grid.ngrid, h.n_electrons / grid.cell.volume)
+    h.update_density(rho)
+    return h
+
+
+# ---------------- orthonormalization --------------------------------------------
+def test_lowdin_orthonormal(grid):
+    rng = default_rng(0)
+    phi = grid.random_orbitals(5, rng)
+    phi = phi + 0.1 * grid.random_orbitals(5, rng)
+    out = lowdin_orthonormalize(grid, phi)
+    s = grid.inner(out, out)
+    assert np.abs(s - np.eye(5)).max() < 1e-10
+
+
+def test_lowdin_closest_orthonormalization(grid):
+    """Löwdin leaves an already-orthonormal block untouched."""
+    rng = default_rng(1)
+    phi = grid.random_orbitals(4, rng)
+    out = lowdin_orthonormalize(grid, phi)
+    assert np.allclose(out, phi, atol=1e-10)
+
+
+def test_canonical_drops_dependent_rows(grid):
+    rng = default_rng(2)
+    phi = grid.random_orbitals(3, rng)
+    stacked = np.vstack([phi, phi[0:1]])  # duplicate row
+    out = canonical_orthonormalize(grid, stacked)
+    assert out.shape[0] == 3
+    s = grid.inner(out, out)
+    assert np.abs(s - np.eye(3)).max() < 1e-8
+
+
+# ---------------- Davidson --------------------------------------------------------
+def test_davidson_matches_dense(grid, ham):
+    """Eigenvalues agree with a dense diagonalization in the sphere basis."""
+    mask = grid.to_flat(grid.gvec.sphere_mask[None])[0]
+    idx = np.nonzero(mask)[0]
+    npw = len(idx)
+    h_dense = np.zeros((npw, npw), dtype=complex)
+    block = 64
+    for s in range(0, npw, block):
+        blk = idx[s : s + block]
+        cg = np.zeros((len(blk), grid.ngrid), dtype=complex)
+        cg[np.arange(len(blk)), blk] = 1.0
+        hg = grid.r_to_g(ham.apply(grid.g_to_r(cg)))
+        h_dense[:, s : s + len(blk)] = hg[:, idx].T
+    ref = np.linalg.eigvalsh(0.5 * (h_dense + h_dense.conj().T))
+
+    rng = default_rng(3)
+    phi = grid.random_orbitals(8, rng)
+    res = davidson(grid, ham.apply, phi, tol=1e-8, max_iter=150, nconv=6)
+    assert np.allclose(res.eigenvalues[:6], ref[:6], atol=1e-7)
+
+
+def test_davidson_residuals_converged(grid, ham):
+    rng = default_rng(4)
+    phi = grid.random_orbitals(8, rng)
+    res = davidson(grid, ham.apply, phi, tol=1e-7, max_iter=150, nconv=6)
+    assert res.converged
+    assert res.residual_norms[:6].max() < 1e-7
+
+
+def test_davidson_output_orthonormal(grid, ham):
+    rng = default_rng(5)
+    phi = grid.random_orbitals(6, rng)
+    res = davidson(grid, ham.apply, phi, tol=1e-6, max_iter=80)
+    s = grid.inner(res.orbitals, res.orbitals)
+    assert np.abs(s - np.eye(6)).max() < 1e-9
+
+
+def test_davidson_warm_start_fast(grid):
+    # a symmetry-broken Hamiltonian (random perturbation lifts the cubic
+    # cell's degenerate multiplets, which otherwise admit stuck interior
+    # bands when the block cuts a cluster)
+    rng = default_rng(6)
+    h = Hamiltonian(grid, make_functional("lda"))
+    h.update_density(np.full(grid.ngrid, h.n_electrons / grid.cell.volume))
+    h.v_eff = h.v_eff + 0.05 * rng.standard_normal(grid.ngrid)
+    phi = grid.random_orbitals(6, rng)
+    res1 = davidson(grid, h.apply, phi, tol=1e-4, max_iter=200, nconv=4)
+    assert res1.converged
+    res2 = davidson(grid, h.apply, res1.orbitals, tol=1e-4, max_iter=200, nconv=4)
+    # restarting from a converged block must be far cheaper than cold
+    assert res2.iterations <= max(3, res1.iterations // 3)
+
+
+# ---------------- mixers ----------------------------------------------------------
+def _linear_fixed_point(n=40, seed=0, contraction=0.9):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    a *= contraction / np.abs(np.linalg.eigvals(a)).max()
+    b = rng.standard_normal(n)
+    x_star = np.linalg.solve(np.eye(n) - a, b)
+    return a, b, x_star
+
+
+def test_anderson_beats_linear_on_contraction():
+    a, b, x_star = _linear_fixed_point()
+    errs = {}
+    for name, mixer in (("lin", LinearMixer(0.5)), ("and", AndersonMixer(history=8, beta=0.5))):
+        x = np.zeros_like(b)
+        for _ in range(60):
+            x = mixer.mix(x, a @ x + b)
+        errs[name] = np.linalg.norm(x - x_star)
+    assert errs["and"] < 1e-3
+    assert errs["and"] < errs["lin"] * 0.1
+
+
+def test_anderson_complex_input():
+    """Anderson accelerates genuinely complex linear fixed points."""
+    rng = np.random.default_rng(1)
+    n = 30
+    a = rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n))
+    a *= 0.8 / np.abs(np.linalg.eigvals(a)).max()
+    b = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    x_star = np.linalg.solve(np.eye(n) - a, b)
+    mixer = AndersonMixer(history=6, beta=0.5)
+    x = np.zeros(n, dtype=complex)
+    for _ in range(60):
+        x = mixer.mix(x, a @ x + b)
+    assert np.linalg.norm(x - x_star) < 1e-4
+
+
+def test_anderson_preserves_shape():
+    mixer = AndersonMixer()
+    x = np.zeros((3, 4), dtype=complex)
+    gx = np.ones((3, 4), dtype=complex)
+    out = mixer.mix(x, gx)
+    assert out.shape == (3, 4)
+
+
+@given(history=st.integers(min_value=2, max_value=20), beta=st.floats(min_value=0.25, max_value=1.0))
+@settings(max_examples=15, deadline=None)
+def test_anderson_any_history_converges(history, beta):
+    a, b, x_star = _linear_fixed_point(n=20, seed=3, contraction=0.7)
+    mixer = AndersonMixer(history=history, beta=beta)
+    x = np.zeros_like(b)
+    for _ in range(120):
+        x = mixer.mix(x, a @ x + b)
+    assert np.linalg.norm(x - x_star) < 5e-2
+
+
+def test_kerker_conserves_electron_count(grid):
+    mixer = KerkerMixer(grid, q0=1.5)
+    rng = default_rng(7)
+    rho = np.abs(rng.standard_normal(grid.ngrid))
+    ne = rho.sum()
+    rho_new = np.abs(rng.standard_normal(grid.ngrid))
+    rho_new *= ne / rho_new.sum()
+    out = mixer.mix(rho, rho_new)
+    assert out.sum() == pytest.approx(ne, rel=1e-10)
+    assert out.min() >= 0.0
+
+
+def test_invalid_mixer_parameters():
+    with pytest.raises(ValueError):
+        LinearMixer(0.0)
+    with pytest.raises(ValueError):
+        AndersonMixer(history=0)
+
+
+# ---------------- SCF driver -------------------------------------------------------
+def test_default_nbands_matches_paper():
+    """N = Ne/2 + natom/2 (perf tests) or + natom (accuracy tests)."""
+    assert default_nbands(4 * 384, 384, extra_ratio=0.5) == 960
+    assert default_nbands(4 * 1536, 1536, extra_ratio=0.5) == 3840
+    assert default_nbands(4 * 8, 8, extra_ratio=1.0) == 24
+
+
+def test_lda_scf_converges(lda_ground_state):
+    ham, gs = lda_ground_state
+    assert gs.converged
+    assert gs.history[-1] < 1e-6
+
+
+def test_scf_occupations_hold_all_electrons(lda_ground_state):
+    ham, gs = lda_ground_state
+    assert 2.0 * gs.occupations.sum() == pytest.approx(32.0, abs=1e-8)
+
+
+def test_scf_density_positive_and_normalized(lda_ground_state):
+    ham, gs = lda_ground_state
+    assert gs.density.min() >= 0.0
+    assert gs.density.sum() * ham.grid.dv == pytest.approx(32.0, rel=1e-8)
+
+
+def test_scf_orbitals_orthonormal(lda_ground_state):
+    ham, gs = lda_ground_state
+    s = ham.grid.inner(gs.orbitals, gs.orbitals)
+    assert np.abs(s - np.eye(gs.orbitals.shape[0])).max() < 1e-8
+
+
+def test_scf_finite_temperature_fractional_occupation(lda_ground_state):
+    """At 8000 K the paper's point: electrons are fractionally occupied."""
+    _, gs = lda_ground_state
+    frac = (gs.occupations > 0.01) & (gs.occupations < 0.99)
+    assert frac.sum() >= 2
+
+
+def test_scf_free_energy_below_total(lda_ground_state):
+    _, gs = lda_ground_state
+    assert gs.free_energy < gs.total_energy
+
+
+def test_hse_scf_converges_and_lowers_energy(hse_ground_state, lda_ground_state):
+    """Hybrid exchange binds: E_HSE < E_LDA for the same system."""
+    _, gs_hse = hse_ground_state
+    _, gs_lda = lda_ground_state
+    assert gs_hse.converged
+    assert gs_hse.total_energy < gs_lda.total_energy
+
+
+def test_scf_reasonable_silicon_energy(lda_ground_state):
+    """LDA-HGH silicon: roughly -3.5 to -4.5 Ha/atom at this crude cutoff."""
+    _, gs = lda_ground_state
+    per_atom = gs.total_energy / 8.0
+    assert -5.0 < per_atom < -3.0
