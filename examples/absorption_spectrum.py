@@ -1,9 +1,9 @@
 """Delta-kick absorption spectrum (the application motivating hybrids).
 
 The paper's introduction motivates hybrid-functional rt-TDDFT with
-optical-absorption accuracy.  This example applies a velocity-gauge
-delta kick to the silicon cell, propagates with PT-IM-ACE, and prints
-the resulting dipole strength function.
+optical-absorption accuracy.  This example configures a velocity-gauge
+delta kick through the :mod:`repro.api` facade, propagates with
+PT-IM-ACE, and prints the resulting dipole strength function.
 
 Run:  python examples/absorption_spectrum.py [n_steps]
 (the default 12 steps gives a crude but visible spectral envelope)
@@ -13,33 +13,29 @@ import sys
 
 import numpy as np
 
-from repro.constants import AU_PER_ATTOSECOND, EV_PER_HARTREE
-from repro.grid import PlaneWaveGrid, silicon_cubic_cell
-from repro.hamiltonian import Hamiltonian
+from repro.api import Simulation
+from repro.constants import EV_PER_HARTREE
 from repro.observables.spectrum import absorption_spectrum
-from repro.rt import PTIMACEOptions, PTIMACEPropagator, StaticKick, TDState
-from repro.scf import SCFOptions, run_scf
-from repro.xc.hybrid import make_functional
+
+KICK = 2e-3
+
+CONFIG = {
+    "system": {"cell": "silicon_cubic", "ecut": 3.0, "functional": "hse"},
+    "scf": {"temperature_k": 8000.0, "nbands": 24, "density_tol": 1e-6, "max_outer": 15},
+    "field": {"kind": "static_kick", "params": {"kick": KICK}},
+    "propagation": {"propagator": "ptim_ace", "dt_as": 25.0, "n_steps": 12,
+                    "record_energy": False,
+                    "options": {"density_tol": 1e-7, "exchange_tol": 1e-7}},
+}
 
 
 def main(n_steps: int = 12) -> None:
-    grid = PlaneWaveGrid(silicon_cubic_cell(), ecut=3.0)
-    kick = StaticKick(kick=2e-3)
-    ham = Hamiltonian(grid, make_functional("hse"), field=kick)
+    sim = Simulation.from_config(CONFIG)
+    print(f"propagating {n_steps} x 25 as after a {KICK} a.u. kick ...")
+    result = sim.propagate(n_steps=n_steps)
 
-    gs = run_scf(ham, SCFOptions(temperature_k=8000.0, nbands=24, density_tol=1e-6, max_outer=15))
-    state = TDState(gs.orbitals, gs.sigma, 0.0)
-
-    dt = 25.0 * AU_PER_ATTOSECOND
-    print(f"propagating {n_steps} x 25 as after a {kick.kick} a.u. kick ...")
-    prop = PTIMACEPropagator(
-        ham, PTIMACEOptions(density_tol=1e-7, exchange_tol=1e-7), record_energy=False
-    )
-    prop.propagate(state, dt=dt, n_steps=n_steps)
-
-    times = np.asarray(prop.record.times)
-    dip = np.asarray(prop.record.dipole)[:, 0]
-    omega, strength = absorption_spectrum(times, dip, kick=kick.kick, damping=0.01)
+    obs = result.observables()
+    omega, strength = absorption_spectrum(obs["times"], obs["dipole"][:, 0], kick=KICK, damping=0.01)
 
     print(f"\n{'E (eV)':>8} {'S(w)':>12}")
     keep = (omega * EV_PER_HARTREE > 0.5) & (omega * EV_PER_HARTREE < 25.0)

@@ -1,10 +1,11 @@
 """Fig. 7 at laptop scale: PT-IM-ACE (50 as) vs RK4 (1 as) under a laser.
 
-Reproduces the paper's accuracy experiment in miniature: dipole moment
-along x and total energy of the 8-atom silicon system under a 380 nm
-pulse, propagated both with PT-IM-ACE at the paper's 50 as step and with
-RK4 at a much smaller step.  Prints the two series side by side plus the
-maximum deviation (the paper's claim: they "fully match").
+Reproduces the paper's accuracy experiment in miniature on the
+:mod:`repro.api` facade: one config defines the system/pulse, the PT-IM-ACE
+run uses it directly, and ``Simulation.derive`` swaps only the propagator
+section — sharing the converged HSE ground state between both runs.
+Prints the two dipole/energy series side by side plus the maximum
+deviation (the paper's claim: they "fully match").
 
 Run:  python examples/laser_excitation.py [n_ptim_steps]
 """
@@ -13,48 +14,45 @@ import sys
 
 import numpy as np
 
+from repro.api import Simulation
 from repro.constants import AU_PER_ATTOSECOND
-from repro.grid import PlaneWaveGrid, silicon_cubic_cell
-from repro.hamiltonian import Hamiltonian
-from repro.rt import (
-    GaussianLaserPulse,
-    PTIMACEOptions,
-    PTIMACEPropagator,
-    RK4Propagator,
-    TDState,
-)
-from repro.scf import SCFOptions, run_scf
-from repro.xc.hybrid import make_functional
+
+RK_SUB = 50  # 1 as reference step per 50 as PT-IM-ACE step
+
+CONFIG = {
+    "system": {"cell": "silicon_cubic", "ecut": 3.0, "functional": "hse"},
+    "scf": {"temperature_k": 8000.0, "nbands": 24, "density_tol": 1e-6, "max_outer": 15},
+    "field": {"kind": "gaussian_pulse",
+              "params": {"amplitude": 0.02, "wavelength_nm": 380.0,
+                         "center_fs": 0.05, "fwhm_fs": 0.08}},
+    "propagation": {"propagator": "ptim_ace", "dt_as": 50.0, "n_steps": 2,
+                    "options": {"density_tol": 1e-8, "exchange_tol": 1e-8}},
+}
 
 
 def main(n_steps: int = 2) -> None:
-    grid = PlaneWaveGrid(silicon_cubic_cell(), ecut=3.0)
-    pulse = GaussianLaserPulse(amplitude=0.02, wavelength_nm=380.0, center_fs=0.05, fwhm_fs=0.08)
-    ham = Hamiltonian(grid, make_functional("hse"), field=pulse)
-
+    sim = Simulation.from_config(CONFIG)
     print("ground state (HSE, 8000 K) ...")
-    gs = run_scf(ham, SCFOptions(temperature_k=8000.0, nbands=24, density_tol=1e-6, max_outer=15))
-    state0 = TDState(gs.orbitals, gs.sigma, 0.0)
-    dt = 50.0 * AU_PER_ATTOSECOND
+    sim.ground_state()
 
     print(f"PT-IM-ACE: {n_steps} x 50 as ...")
-    ace = PTIMACEPropagator(ham, PTIMACEOptions(density_tol=1e-8, exchange_tol=1e-8))
-    ace.propagate(state0.copy(), dt=dt, n_steps=n_steps)
+    res_ace = sim.propagate(n_steps=n_steps)
 
-    rk_sub = 50  # 1 as reference step
-    print(f"RK4 reference: {n_steps * rk_sub} x 1 as ...")
-    rk = RK4Propagator(ham)
-    rk.propagate(state0.copy(), dt=dt / rk_sub, n_steps=n_steps * rk_sub, observe_every=rk_sub)
+    print(f"RK4 reference: {n_steps * RK_SUB} x 1 as ...")
+    rk = sim.derive(propagation={
+        "propagator": "rk4", "dt_as": 50.0 / RK_SUB,
+        "n_steps": n_steps * RK_SUB, "observe_every": RK_SUB, "options": {},
+    })
+    res_rk = rk.propagate()
 
-    d_ace = np.asarray(ace.record.dipole)[:, 0]
-    d_rk = np.asarray(rk.record.dipole)[:, 0]
-    e_ace = np.asarray(ace.record.energy)
-    e_rk = np.asarray(rk.record.energy)
+    ace, rk4 = res_ace.observables(), res_rk.observables()
+    d_ace, d_rk = ace["dipole"][:, 0], rk4["dipole"][:, 0]
+    e_ace, e_rk = ace["energy"], rk4["energy"]
 
     print(f"\n{'t (as)':>8} {'E field':>10} {'dip_x ACE':>12} {'dip_x RK4':>12} "
           f"{'E ACE':>14} {'E RK4':>14}")
-    for i, t in enumerate(ace.record.times):
-        ef = ace.record.field_values[i][0]
+    for i, t in enumerate(ace["times"]):
+        ef = ace["field"][i][0]
         print(f"{t / AU_PER_ATTOSECOND:8.1f} {ef:10.5f} {d_ace[i]:12.6f} {d_rk[i]:12.6f} "
               f"{e_ace[i]:14.8f} {e_rk[i]:14.8f}")
     print(f"\nmax |dipole deviation|  : {np.abs(d_ace - d_rk).max():.2e} bohr")

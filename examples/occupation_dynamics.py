@@ -1,9 +1,9 @@
 """Fig. 8 at laptop scale: electron motion through the occupation matrix.
 
 Tracks the paper's Fig. 8 quantities during a finite-temperature
-rt-TDDFT run: the off-diagonal element sigma(0, 2) in the complex plane,
-a diagonal element over time, and a text rendering of the initial/final
-|sigma| heatmaps.
+rt-TDDFT run on the :mod:`repro.api` facade: the off-diagonal element
+sigma(0, 2) in the complex plane, a diagonal element over time, and a
+text rendering of the initial/final |sigma| heatmaps.
 
 Run:  python examples/occupation_dynamics.py [n_steps]
 """
@@ -12,12 +12,19 @@ import sys
 
 import numpy as np
 
+from repro.api import Simulation
 from repro.constants import AU_PER_ATTOSECOND
-from repro.grid import PlaneWaveGrid, silicon_cubic_cell
-from repro.hamiltonian import Hamiltonian
-from repro.rt import GaussianLaserPulse, PTIMACEOptions, PTIMACEPropagator, TDState
-from repro.scf import SCFOptions, run_scf
-from repro.xc.hybrid import make_functional
+
+CONFIG = {
+    "system": {"cell": "silicon_cubic", "ecut": 3.0, "functional": "hse"},
+    "scf": {"temperature_k": 8000.0, "nbands": 24, "density_tol": 1e-6, "max_outer": 15},
+    "field": {"kind": "gaussian_pulse",
+              "params": {"amplitude": 0.05, "wavelength_nm": 380.0,
+                         "center_fs": 0.05, "fwhm_fs": 0.08}},
+    "propagation": {"propagator": "ptim_ace", "dt_as": 50.0, "n_steps": 3,
+                    "track_sigma": [[0, 2], [22, 22]], "record_energy": False,
+                    "options": {"density_tol": 1e-7, "exchange_tol": 1e-7}},
+}
 
 
 def _heat(sigma: np.ndarray, title: str) -> None:
@@ -31,28 +38,20 @@ def _heat(sigma: np.ndarray, title: str) -> None:
 
 
 def main(n_steps: int = 3) -> None:
-    grid = PlaneWaveGrid(silicon_cubic_cell(), ecut=3.0)
-    pulse = GaussianLaserPulse(amplitude=0.05, wavelength_nm=380.0, center_fs=0.05, fwhm_fs=0.08)
-    ham = Hamiltonian(grid, make_functional("hse"), field=pulse)
-
-    gs = run_scf(ham, SCFOptions(temperature_k=8000.0, nbands=24, density_tol=1e-6, max_outer=15))
-    state0 = TDState(gs.orbitals, gs.sigma, 0.0)
+    sim = Simulation.from_config(CONFIG)
+    state0 = sim.state  # converges the ground state lazily
     _heat(state0.sigma, "\ninitial |sigma| (diagonal Fermi-Dirac fractions, Fig. 8(c)):")
 
-    prop = PTIMACEPropagator(
-        ham,
-        PTIMACEOptions(density_tol=1e-7, exchange_tol=1e-7),
-        track_sigma=[(0, 2), (22, 22)],
-        record_energy=False,
-    )
-    final = prop.propagate(state0, dt=50.0 * AU_PER_ATTOSECOND, n_steps=n_steps)
+    result = sim.propagate(n_steps=n_steps)
+    record = result.record
 
-    off = np.asarray(prop.record.sigma_samples[(0, 2)])
-    diag = np.asarray(prop.record.sigma_samples[(22, 22)])
+    off = np.asarray(record.sigma_samples[(0, 2)])
+    diag = np.asarray(record.sigma_samples[(22, 22)])
     print(f"\n{'t (as)':>8} {'Re sigma(0,2)':>15} {'Im sigma(0,2)':>15} {'sigma(22,22)':>14}")
-    for t, o, d in zip(prop.record.times, off, diag):
+    for t, o, d in zip(record.times, off, diag):
         print(f"{t / AU_PER_ATTOSECOND:8.1f} {o.real:15.3e} {o.imag:15.3e} {d.real:14.6f}")
 
+    final = result.final_state
     _heat(final.sigma, "\nfinal |sigma| (off-diagonal coherence from the field, Fig. 8(d)):")
     lam = np.linalg.eigvalsh(final.sigma)
     print(f"\nsigma eigenvalue range: [{lam.min():.2e}, {lam.max():.6f}] (physical: [0, 1])")

@@ -1,55 +1,35 @@
-"""Quickstart: finite-temperature hybrid-functional rt-TDDFT in ~40 lines.
+"""Quickstart: finite-temperature hybrid-functional rt-TDDFT, config-driven.
 
-Builds the 8-atom silicon cell at a laptop-friendly cutoff, converges the
-HSE-type ground state at 8000 K (fractionally occupied orbitals — the
-paper's mixed-state setting), then propagates a few 50 as PT-IM-ACE steps
-and prints the observables.
+One declarative config replaces the old hand-wired chain: the
+:class:`repro.api.Simulation` facade builds the cell/grid/Hamiltonian,
+converges the HSE ground state at 8000 K, and runs PT-IM-ACE steps under
+a 380 nm pulse.  Equivalent CLI: ``python -m repro run examples/configs/quickstart.toml``.
 
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
+from repro.api import Simulation
 
-from repro.constants import AU_PER_ATTOSECOND
-from repro.grid import PlaneWaveGrid, silicon_cubic_cell
-from repro.hamiltonian import Hamiltonian
-from repro.rt import GaussianLaserPulse, PTIMACEOptions, PTIMACEPropagator, TDState
-from repro.scf import SCFOptions, run_scf
-from repro.xc.hybrid import make_functional
+CONFIG = {
+    "system": {"cell": "silicon_cubic", "ecut": 3.0, "functional": "hse"},
+    "scf": {"temperature_k": 8000.0, "nbands": 24, "density_tol": 1e-6, "max_outer": 15},
+    "field": {"kind": "gaussian_pulse",
+              "params": {"amplitude": 0.02, "wavelength_nm": 380.0,
+                         "center_fs": 0.05, "fwhm_fs": 0.08}},
+    "propagation": {"propagator": "ptim_ace", "dt_as": 50.0, "n_steps": 3,
+                    "track_sigma": [[0, 2]],
+                    "options": {"density_tol": 1e-7, "exchange_tol": 1e-7}},
+}
 
 
 def main() -> None:
-    cell = silicon_cubic_cell()
-    grid = PlaneWaveGrid(cell, ecut=3.0)
-    print(f"8-atom Si cell | FFT grid {grid.shape} | {grid.npw} plane waves")
-
-    pulse = GaussianLaserPulse(amplitude=0.02, wavelength_nm=380.0, center_fs=0.05, fwhm_fs=0.08)
-    ham = Hamiltonian(grid, make_functional("hse"), field=pulse)
-
+    sim = Simulation.from_config(CONFIG)
+    print(f"8-atom Si cell | FFT grid {sim.grid.shape} | {sim.grid.npw} plane waves")
     print("converging HSE ground state at 8000 K ...")
-    gs = run_scf(ham, SCFOptions(temperature_k=8000.0, nbands=24, density_tol=1e-6, max_outer=15))
-    print(f"  converged={gs.converged}  E = {gs.total_energy:.6f} Ha "
-          f"({gs.total_energy / cell.natom:.4f} Ha/atom)")
-    frac = gs.occupations[(gs.occupations > 0.01) & (gs.occupations < 0.99)]
-    print(f"  mu = {gs.fermi_level:.4f} Ha | {len(frac)} fractionally occupied orbitals")
-
-    prop = PTIMACEPropagator(
-        ham,
-        PTIMACEOptions(density_tol=1e-7, exchange_tol=1e-7),
-        track_sigma=[(0, 2)],
-    )
-    state = TDState(gs.orbitals, gs.sigma, 0.0)
-    print("propagating 3 x 50 as PT-IM-ACE steps under a 380 nm pulse ...")
-    prop.propagate(state, dt=50.0 * AU_PER_ATTOSECOND, n_steps=3)
-
-    r = prop.record
-    print(f"\n{'t (as)':>8} {'dipole_x':>12} {'E_tot (Ha)':>14} {'Tr sigma x2':>12} {'outer/inner':>12}")
-    for i, t in enumerate(r.times):
-        stats = r.stats[i]
-        print(
-            f"{t / AU_PER_ATTOSECOND:8.1f} {r.dipole[i][0]:12.6f} {r.energy[i]:14.8f} "
-            f"{r.particle_number[i]:12.6f} {stats.outer_iterations:>5}/{stats.scf_iterations:<5}"
-        )
+    gs = sim.ground_state()
+    print(f"  converged={gs.converged}  E = {gs.total_energy:.6f} Ha  mu = {gs.fermi_level:.4f} Ha")
+    print("propagating 3 x 50 as PT-IM-ACE steps under a 380 nm pulse ...\n")
+    print(sim.propagate().summary())
 
 
 if __name__ == "__main__":

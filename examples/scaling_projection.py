@@ -2,60 +2,18 @@
 
 Prints Fig. 9 (step-by-step speedups), Fig. 10 (strong scaling), Fig. 11
 (weak scaling) and Table I (communication breakdown) for both platforms,
-next to the paper's reported numbers.
+next to the paper's reported numbers.  The report itself lives in
+:mod:`repro.perf.report`; the same text is available from the facade CLI
+as ``python -m repro perf``.
 
 Run:  python examples/scaling_projection.py
 """
 
-from repro.perf.calibrate import (
-    FIG9_SPEEDUPS,
-    FIG9_TOTAL_SPEEDUP,
-    STRONG_SCALING,
-    TABLE1,
-    WEAK_ANCHORS,
-)
-from repro.perf.experiments import (
-    fig9_step_by_step,
-    fig10_strong_scaling,
-    fig11_weak_scaling,
-    format_table1,
-    table1_communication,
-)
+from repro.perf.report import scaling_report
 
 
 def main() -> None:
-    for machine in ("fugaku-arm", "a100-gpu"):
-        print("=" * 78)
-        r = fig9_step_by_step(machine)
-        print(f"Fig 9 | {machine} | 384-atom Si | {r['nodes']} nodes")
-        print(f"{'stage':<8}{'t/step (s)':>12}{'speedup':>10}{'paper':>8}")
-        prev = None
-        for stage, t in r["step_seconds"].items():
-            inc = f"{prev / t:.2f}" if prev else ""
-            paper = FIG9_SPEEDUPS[machine].get(stage, "")
-            print(f"{stage:<8}{t:>12.1f}{inc:>10}{paper!s:>8}")
-            prev = t
-        print(f"total speedup: {r['total_speedup']:.1f}x (paper {FIG9_TOTAL_SPEEDUP[machine]}x)\n")
-
-        cfg = STRONG_SCALING[machine]
-        n0, n1 = cfg["nodes"]
-        rows = fig10_strong_scaling(machine, cfg["natom"], [n0, 2 * n0, 4 * n0, n1])["rows"]
-        print(f"Fig 10 | strong scaling | {cfg['natom']} atoms")
-        for row in rows:
-            print(f"  {row['nodes']:>5} nodes  {row['seconds']:>9.1f} s  eff {row['efficiency']:.1%}")
-        print(f"  paper endpoint: {cfg['speedup']}x speedup, {cfg['efficiency']:.1%} efficiency\n")
-
-        rows = fig11_weak_scaling(machine)["rows"]
-        print("Fig 11 | weak scaling")
-        for row in rows:
-            anchor = WEAK_ANCHORS.get((machine, row["natom"]))
-            mark = f"  (paper {anchor:.1f} s)" if anchor else ""
-            print(f"  {row['natom']:>5} atoms / {row['nodes']:>4} nodes  {row['seconds']:>9.1f} s{mark}")
-        print()
-
-        print(format_table1(table1_communication(machine)))
-        print("paper totals:", {v: TABLE1[machine][v]["total_comm"] for v in ("ACE", "Ring", "Async")})
-        print()
+    print(scaling_report())
 
 
 if __name__ == "__main__":

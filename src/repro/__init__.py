@@ -1,6 +1,13 @@
 """repro: finite-temperature hybrid-functional rt-TDDFT (PT-IM) reproduction.
 
-Public entry points:
+High-level entry point — the declarative facade (see :mod:`repro.api`)::
+
+    from repro import Simulation
+    result = Simulation.from_file("config.toml").run()
+
+or on the command line: ``python -m repro run config.toml``.
+
+Low-level building blocks remain public:
 
 * :mod:`repro.grid` — cells and plane-wave grids;
 * :mod:`repro.hamiltonian` — the Kohn-Sham Hamiltonian with hybrid
@@ -12,4 +19,31 @@ Public entry points:
   evaluation figures and tables.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+__all__ = [
+    "Simulation",
+    "SimulationResult",
+    "SimulationConfig",
+    "SystemConfig",
+    "SCFConfig",
+    "FieldConfig",
+    "PropagationConfig",
+    "ConfigError",
+    "register_cell",
+    "register_functional",
+    "register_field",
+    "register_propagator",
+    "available_components",
+]
+
+
+def __getattr__(name: str):
+    # lazy facade re-export: keeps `import repro.constants`-style imports
+    # from pulling in the full api subsystem (and avoids import cycles
+    # while the package initializes)
+    if name in __all__:
+        import repro.api as _api
+
+        return getattr(_api, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

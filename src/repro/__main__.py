@@ -1,0 +1,11 @@
+"""``python -m repro`` — run config-driven simulations from the shell.
+
+Thin wrapper so the package is executable; the actual argument parsing
+and command dispatch live in :mod:`repro.api.cli` (also installed as the
+``repro`` console script by ``setup.py``).
+"""
+
+from repro.api.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,56 @@
+"""``repro.api`` — the declarative front door to the whole package.
+
+One import gives configs, registries, the :class:`Simulation` facade and
+checkpointing; ``python -m repro`` exposes the same surface on the
+command line.  The low-level modules (:mod:`repro.scf`, :mod:`repro.rt`,
+:mod:`repro.hamiltonian`, ...) remain fully supported for custom wiring.
+"""
+
+from repro.api.checkpoint import Checkpoint, load_checkpoint, save_checkpoint
+from repro.api.config import (
+    ConfigError,
+    FieldConfig,
+    PropagationConfig,
+    SCFConfig,
+    SimulationConfig,
+    SystemConfig,
+)
+from repro.api.registry import (
+    CELLS,
+    FIELDS,
+    FUNCTIONALS,
+    PROPAGATORS,
+    Registry,
+    RegistryError,
+    available_components,
+    register_cell,
+    register_field,
+    register_functional,
+    register_propagator,
+)
+from repro.api.simulation import Simulation, SimulationResult
+
+__all__ = [
+    "Checkpoint",
+    "load_checkpoint",
+    "save_checkpoint",
+    "ConfigError",
+    "FieldConfig",
+    "PropagationConfig",
+    "SCFConfig",
+    "SimulationConfig",
+    "SystemConfig",
+    "CELLS",
+    "FIELDS",
+    "FUNCTIONALS",
+    "PROPAGATORS",
+    "Registry",
+    "RegistryError",
+    "available_components",
+    "register_cell",
+    "register_field",
+    "register_functional",
+    "register_propagator",
+    "Simulation",
+    "SimulationResult",
+]

@@ -1,0 +1,92 @@
+"""Checkpoint IO: one ``.npz`` restarts a propagation mid-trajectory.
+
+A checkpoint stores the propagated state (orbitals, occupation matrix,
+time), the full :class:`~repro.api.config.SimulationConfig` as embedded
+JSON provenance, and — when available — the converged ground state, so a
+resumed :class:`~repro.api.simulation.Simulation` never re-runs SCF.
+
+Arrays round-trip at full float64/complex128 precision: resuming and
+taking one step produces bitwise-identical observables to the
+uninterrupted run (tested in ``tests/test_api_simulation.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.api.config import ConfigError, SimulationConfig
+from repro.rt.propagator import TDState
+from repro.scf.groundstate import GroundState
+
+CHECKPOINT_VERSION = 1
+
+#: GroundState fields stored as 0-d/1-d arrays under a ``gs_`` prefix
+_GS_FIELDS = [f.name for f in dataclasses.fields(GroundState)]
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A loaded checkpoint: config + state (+ optional ground state)."""
+
+    config: SimulationConfig
+    state: TDState
+    ground_state: Optional[GroundState] = None
+
+
+def save_checkpoint(
+    path,
+    config: SimulationConfig,
+    state: TDState,
+    ground_state: Optional[GroundState] = None,
+) -> Path:
+    """Write a single-``.npz`` checkpoint; returns the resolved path."""
+    path = Path(path)
+    payload = {
+        "version": np.int64(CHECKPOINT_VERSION),
+        "config_json": np.str_(config.to_json()),
+        "phi": np.asarray(state.phi, dtype=complex),
+        "sigma": np.asarray(state.sigma, dtype=complex),
+        "time": np.float64(state.time),
+    }
+    if ground_state is not None:
+        for name in _GS_FIELDS:
+            payload[f"gs_{name}"] = np.asarray(getattr(ground_state, name))
+    np.savez(path, **payload)
+    return path
+
+
+def load_checkpoint(path) -> Checkpoint:
+    """Read a checkpoint written by :func:`save_checkpoint`."""
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        for key in ("version", "config_json", "phi", "sigma", "time"):
+            if key not in data:
+                raise ConfigError(f"{path} is not a repro checkpoint (missing {key!r})")
+        version = int(data["version"])
+        if version > CHECKPOINT_VERSION:
+            raise ConfigError(
+                f"checkpoint {path} has version {version}; this build reads <= {CHECKPOINT_VERSION}"
+            )
+        config = SimulationConfig.from_json(str(data["config_json"]))
+        state = TDState(
+            phi=np.array(data["phi"], dtype=complex),
+            sigma=np.array(data["sigma"], dtype=complex),
+            time=float(data["time"]),
+        )
+        ground_state = None
+        if "gs_orbitals" in data:
+            kwargs = {}
+            for name in _GS_FIELDS:
+                value = np.array(data[f"gs_{name}"])
+                if value.ndim == 0:
+                    value = value.item()
+                elif name == "history":
+                    value = [float(v) for v in value]
+                kwargs[name] = value
+            ground_state = GroundState(**kwargs)
+    return Checkpoint(config=config, state=state, ground_state=ground_state)

@@ -1,0 +1,171 @@
+"""Command-line front end: ``python -m repro <command>`` (or ``repro``).
+
+Commands
+--------
+``run CONFIG``
+    Converge the ground state and run the configured propagation from a
+    ``.toml``/``.json`` config file; optionally save results/checkpoint.
+``resume CKPT``
+    Continue a checkpointed trajectory for more steps.
+``validate CONFIG``
+    Parse + validate a config and print its normalized JSON.
+``components``
+    List every registered cell / functional / field / propagator.
+``perf``
+    Print the paper-evaluation performance projection report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.api.config import ConfigError, SimulationConfig
+from repro.api.registry import (
+    CELLS,
+    FIELDS,
+    FUNCTIONALS,
+    PROPAGATORS,
+    RegistryError,
+    available_components,
+)
+from repro.api.simulation import Simulation
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Config-driven hybrid-functional rt-TDDFT simulations (PT-IM-ACE).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run SCF + propagation from a config file")
+    run.add_argument("config", help="path to a .toml or .json simulation config")
+    run.add_argument("--steps", type=int, default=None, help="override propagation.n_steps")
+    run.add_argument("--output", default=None, metavar="NPZ", help="save observables + config")
+    run.add_argument("--checkpoint", default=None, metavar="NPZ", help="save a restart checkpoint")
+    run.add_argument("--quiet", action="store_true", help="suppress the observable table")
+
+    resume = sub.add_parser("resume", help="continue a checkpointed trajectory")
+    resume.add_argument("checkpoint_file", help="checkpoint .npz from a previous run")
+    resume.add_argument("--steps", type=int, default=None, help="override propagation.n_steps")
+    resume.add_argument("--output", default=None, metavar="NPZ", help="save observables + config")
+    resume.add_argument("--checkpoint", default=None, metavar="NPZ", help="save a new checkpoint")
+    resume.add_argument("--quiet", action="store_true", help="suppress the observable table")
+
+    validate = sub.add_parser("validate", help="check a config file and print it normalized")
+    validate.add_argument("config", help="path to a .toml or .json simulation config")
+
+    sub.add_parser("components", help="list registered cells/functionals/fields/propagators")
+
+    perf = sub.add_parser("perf", help="print the performance-model projection report")
+    perf.add_argument(
+        "--machine",
+        choices=("fugaku-arm", "a100-gpu"),
+        default=None,
+        help="restrict the report to one platform",
+    )
+    return parser
+
+
+def _finish(sim: Simulation, result, args) -> None:
+    if not args.quiet:
+        print(result.summary())
+    if args.output:
+        path = result.save_npz(args.output)
+        print(f"observables saved to {path}")
+    if args.checkpoint:
+        path = sim.save_checkpoint(args.checkpoint)
+        print(f"checkpoint saved to {path}")
+
+
+def _cmd_run(args) -> int:
+    sim = Simulation.from_file(args.config)
+    cfg = sim.config
+    if not args.quiet:
+        print(
+            f"system: {cfg.system.cell} | ecut {cfg.system.ecut} Ha | "
+            f"functional {cfg.system.functional} | field {cfg.field.kind}"
+        )
+        print(f"converging ground state ({cfg.scf.temperature_k:.0f} K) ...")
+    gs = sim.ground_state()
+    if not args.quiet:
+        print(
+            f"  converged={gs.converged}  E = {gs.total_energy:.6f} Ha  "
+            f"mu = {gs.fermi_level:.4f} Ha  ({gs.scf_iterations} SCF iterations)"
+        )
+        n = args.steps if args.steps is not None else cfg.propagation.n_steps
+        print(
+            f"propagating {n} x {cfg.propagation.dt_as:g} as with "
+            f"{cfg.propagation.propagator} ..."
+        )
+    result = sim.propagate(n_steps=args.steps)
+    _finish(sim, result, args)
+    return 0
+
+
+def _cmd_resume(args) -> int:
+    sim = Simulation.resume(args.checkpoint_file)
+    cfg = sim.config
+    if not args.quiet:
+        n = args.steps if args.steps is not None else cfg.propagation.n_steps
+        print(
+            f"resuming at t = {sim.state.time:.3f} a.u.; propagating {n} more "
+            f"x {cfg.propagation.dt_as:g} as with {cfg.propagation.propagator} ..."
+        )
+    result = sim.propagate(n_steps=args.steps)
+    _finish(sim, result, args)
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    cfg = SimulationConfig.from_file(args.config)
+    # surface registry typos at validate time, before any expensive build
+    for registry, key in (
+        (CELLS, cfg.system.cell),
+        (FUNCTIONALS, cfg.system.functional),
+        (FIELDS, cfg.field.kind),
+        (PROPAGATORS, cfg.propagation.propagator),
+    ):
+        registry.get(key)
+    print(cfg.to_json(indent=2))
+    return 0
+
+
+def _cmd_components(args) -> int:
+    for kind, names in available_components().items():
+        print(f"{kind}: {', '.join(names)}")
+    return 0
+
+
+def _cmd_perf(args) -> int:
+    from repro.perf.report import MACHINES, scaling_report
+
+    machines = (args.machine,) if args.machine else MACHINES
+    print(scaling_report(machines))
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "resume": _cmd_resume,
+    "validate": _cmd_validate,
+    "components": _cmd_components,
+    "perf": _cmd_perf,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ValueError, RegistryError, FileNotFoundError) as exc:
+        # ValueError covers ConfigError plus the low-level require() checks
+        # (e.g. "N bands cannot hold M electrons") reachable from user configs
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,298 @@
+"""Declarative simulation configs: frozen dataclasses + dict/JSON/TOML IO.
+
+A :class:`SimulationConfig` fully specifies a run — system, SCF, field,
+propagation — and round-trips losslessly through ``to_dict`` /
+``from_dict`` and through JSON/TOML files, so it doubles as provenance:
+results and checkpoints embed the exact config that produced them.
+
+Parsing is strict: unknown keys and invalid values raise
+:class:`ConfigError` naming the offending dotted key (``system.ecut``,
+``propagation.options`` ...) rather than silently ignoring typos.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Tuple, Type, TypeVar
+
+from repro.constants import SPIN_DEGENERACY
+
+
+class ConfigError(ValueError):
+    """Invalid simulation config; the message names the bad key."""
+
+
+T = TypeVar("T", bound="_Section")
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigError(message)
+
+
+@dataclass(frozen=True)
+class _Section:
+    """Shared strict dict IO for one config section."""
+
+    #: dotted prefix used in error messages ("system", "scf", ...)
+    _context = "config"
+
+    @classmethod
+    def from_dict(cls: Type[T], data: Optional[Mapping[str, Any]]) -> T:
+        data = dict(data or {})
+        valid = {f.name for f in fields(cls) if not f.name.startswith("_")}
+        unknown = sorted(set(data) - valid)
+        _check(
+            not unknown,
+            f"unknown key(s) {', '.join(cls._context + '.' + k for k in unknown)}; "
+            f"valid keys: {', '.join(sorted(valid))}",
+        )
+        try:
+            return cls(**data)
+        except TypeError as exc:
+            raise ConfigError(f"bad {cls._context} section: {exc}") from exc
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain nested dict with JSON/TOML-safe values (``None`` dropped)."""
+        out: Dict[str, Any] = {}
+        for f in fields(self):
+            if f.name.startswith("_"):
+                continue
+            value = getattr(self, f.name)
+            if value is None:
+                continue
+            out[f.name] = _plain(value)
+        return out
+
+
+def _plain(value: Any) -> Any:
+    if isinstance(value, tuple):
+        return [_plain(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _plain(v) for k, v in value.items()}
+    return value
+
+
+@dataclass(frozen=True)
+class SystemConfig(_Section):
+    """What is simulated: cell, basis, functional.
+
+    ``cell`` / ``functional`` are registry keys (see
+    :mod:`repro.api.registry`); the ``*_params`` dicts are passed verbatim
+    to the registered factory.
+    """
+
+    _context = "system"
+
+    cell: str = "silicon_cubic"
+    cell_params: Dict[str, Any] = field(default_factory=dict)
+    ecut: float = 3.0
+    dual: int = 1
+    functional: str = "hse"
+    functional_params: Dict[str, Any] = field(default_factory=dict)
+    degeneracy: float = SPIN_DEGENERACY
+    fock_batch_size: int = 16
+
+    def __post_init__(self) -> None:
+        _check(isinstance(self.cell, str) and self.cell != "", "system.cell must be a non-empty string")
+        _check(isinstance(self.functional, str) and self.functional != "", "system.functional must be a non-empty string")
+        _check(self.ecut > 0.0, f"system.ecut must be positive, got {self.ecut}")
+        _check(self.dual in (1, 2), f"system.dual must be 1 or 2, got {self.dual}")
+        _check(self.degeneracy > 0.0, f"system.degeneracy must be positive, got {self.degeneracy}")
+        _check(self.fock_batch_size >= 1, f"system.fock_batch_size must be >= 1, got {self.fock_batch_size}")
+        object.__setattr__(self, "cell_params", dict(self.cell_params))
+        object.__setattr__(self, "functional_params", dict(self.functional_params))
+
+
+@dataclass(frozen=True)
+class SCFConfig(_Section):
+    """Ground-state solver knobs (mirror of :class:`repro.scf.SCFOptions`)."""
+
+    _context = "scf"
+
+    nbands: Optional[int] = None
+    temperature_k: float = 8000.0
+    density_tol: float = 1.0e-6
+    exchange_tol: float = 1.0e-6
+    max_scf: int = 60
+    max_outer: int = 10
+    davidson_tol: float = 1.0e-7
+    mix_beta: float = 0.5
+    mix_history: int = 20
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.nbands is not None:
+            _check(int(self.nbands) > 0, f"scf.nbands must be positive, got {self.nbands}")
+            object.__setattr__(self, "nbands", int(self.nbands))
+        _check(self.temperature_k >= 0.0, f"scf.temperature_k must be >= 0, got {self.temperature_k}")
+        _check(self.density_tol > 0.0, f"scf.density_tol must be positive, got {self.density_tol}")
+        _check(self.max_scf >= 1, f"scf.max_scf must be >= 1, got {self.max_scf}")
+        _check(self.max_outer >= 1, f"scf.max_outer must be >= 1, got {self.max_outer}")
+
+    def to_options(self):
+        """The low-level :class:`repro.scf.SCFOptions` equivalent."""
+        from repro.scf.groundstate import SCFOptions
+
+        return SCFOptions(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+
+@dataclass(frozen=True)
+class FieldConfig(_Section):
+    """External driving field: a registry ``kind`` plus its parameters."""
+
+    _context = "field"
+
+    kind: str = "zero"
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _check(isinstance(self.kind, str) and self.kind != "", "field.kind must be a non-empty string")
+        params = dict(self.params)
+        if "polarization" in params:
+            params["polarization"] = tuple(params["polarization"])
+        object.__setattr__(self, "params", params)
+
+
+@dataclass(frozen=True)
+class PropagationConfig(_Section):
+    """Real-time propagation: scheme, step, length, recording."""
+
+    _context = "propagation"
+
+    propagator: str = "ptim_ace"
+    dt_as: float = 50.0
+    n_steps: int = 10
+    observe_every: int = 1
+    track_sigma: Tuple[Tuple[int, int], ...] = ()
+    record_energy: bool = True
+    options: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _check(isinstance(self.propagator, str) and self.propagator != "", "propagation.propagator must be a non-empty string")
+        _check(self.dt_as > 0.0, f"propagation.dt_as must be positive, got {self.dt_as}")
+        _check(self.n_steps >= 0, f"propagation.n_steps must be >= 0, got {self.n_steps}")
+        _check(self.observe_every >= 1, f"propagation.observe_every must be >= 1, got {self.observe_every}")
+        try:
+            pairs = tuple((int(i), int(j)) for i, j in self.track_sigma)
+        except (TypeError, ValueError) as exc:
+            raise ConfigError(
+                f"propagation.track_sigma must be a list of (i, j) index pairs, "
+                f"got {self.track_sigma!r}"
+            ) from exc
+        object.__setattr__(self, "track_sigma", pairs)
+        object.__setattr__(self, "options", dict(self.options))
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """One declarative run: system + scf + field + propagation.
+
+    Build from python dicts (:meth:`from_dict`), JSON/TOML files
+    (:meth:`from_file`), or directly from the section dataclasses.
+    """
+
+    # NB: dataclasses.field spelled out — the `field:` attribute below would
+    # shadow the helper for the lines after it inside this class body
+    system: SystemConfig = dataclasses.field(default_factory=SystemConfig)
+    scf: SCFConfig = dataclasses.field(default_factory=SCFConfig)
+    field: FieldConfig = dataclasses.field(default_factory=FieldConfig)
+    propagation: PropagationConfig = dataclasses.field(default_factory=PropagationConfig)
+
+    _SECTIONS = {
+        "system": SystemConfig,
+        "scf": SCFConfig,
+        "field": FieldConfig,
+        "propagation": PropagationConfig,
+    }
+
+    def __post_init__(self) -> None:
+        for name, cls in self._SECTIONS.items():
+            value = getattr(self, name)
+            if isinstance(value, Mapping):
+                object.__setattr__(self, name, cls.from_dict(value))
+            elif not isinstance(value, cls):
+                raise ConfigError(
+                    f"config section {name!r} must be a mapping or {cls.__name__}, "
+                    f"got {type(value).__name__}"
+                )
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SimulationConfig":
+        _check(isinstance(data, Mapping), f"config must be a mapping, got {type(data).__name__}")
+        unknown = sorted(set(data) - set(cls._SECTIONS))
+        _check(
+            not unknown,
+            f"unknown config section(s) {', '.join(unknown)}; "
+            f"valid sections: {', '.join(cls._SECTIONS)}",
+        )
+        return cls(**{name: sec.from_dict(data.get(name)) for name, sec in cls._SECTIONS.items()})
+
+    @classmethod
+    def from_file(cls, path) -> "SimulationConfig":
+        """Load from ``.toml`` (via :mod:`tomllib`) or ``.json``."""
+        path = Path(path)
+        suffix = path.suffix.lower()
+        if suffix == ".toml":
+            import tomllib
+
+            try:
+                data = tomllib.loads(path.read_text())
+            except tomllib.TOMLDecodeError as exc:
+                raise ConfigError(f"invalid TOML in {path}: {exc}") from exc
+        elif suffix == ".json":
+            try:
+                data = json.loads(path.read_text())
+            except json.JSONDecodeError as exc:
+                raise ConfigError(f"invalid JSON in {path}: {exc}") from exc
+        else:
+            raise ConfigError(
+                f"unsupported config format {suffix!r} for {path}; use .toml or .json"
+            )
+        return cls.from_dict(data)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SimulationConfig":
+        return cls.from_dict(json.loads(text))
+
+    # -- serialization ------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {name: getattr(self, name).to_dict() for name in self._SECTIONS}
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    # -- derivation ---------------------------------------------------------
+    def replace(self, **sections) -> "SimulationConfig":
+        """New config with whole sections replaced or updated by dict.
+
+        ``cfg.replace(propagation={"propagator": "rk4"})`` merges the dict
+        over the existing section; passing a section dataclass replaces it
+        wholesale.
+        """
+        unknown = sorted(set(sections) - set(self._SECTIONS))
+        _check(
+            not unknown,
+            f"unknown config section(s) {', '.join(unknown)}; "
+            f"valid sections: {', '.join(self._SECTIONS)}",
+        )
+        updates: Dict[str, Any] = {}
+        for name, value in sections.items():
+            cls = self._SECTIONS[name]
+            if isinstance(value, cls):
+                updates[name] = value
+            elif isinstance(value, Mapping):
+                merged = {**getattr(self, name).to_dict(), **dict(value)}
+                # an explicit None clears an optional key (e.g. scf.nbands)
+                merged = {k: v for k, v in merged.items() if v is not None}
+                updates[name] = cls.from_dict(merged)
+            else:
+                raise ConfigError(
+                    f"config section {name!r} must be a mapping or {cls.__name__}, "
+                    f"got {type(value).__name__}"
+                )
+        return dataclasses.replace(self, **updates)

@@ -1,0 +1,288 @@
+"""The :class:`Simulation` facade: one object from config to observables.
+
+Replaces the hand-wired six-object chain (cell → grid → field →
+Hamiltonian → ``run_scf`` → propagator) used by every entry point with::
+
+    sim = Simulation.from_config({"system": {...}, "propagation": {...}})
+    result = sim.propagate()          # SCF runs lazily, once
+    result.save_npz("run.npz")
+    sim.save_checkpoint("ckpt.npz")   # ... later ...
+    Simulation.resume("ckpt.npz").propagate(n_steps=100)
+
+Components are built lazily from the config through the registries in
+:mod:`repro.api.registry`; the low-level objects stay reachable
+(``sim.grid``, ``sim.hamiltonian``) so facade users can drop down
+whenever the high-level surface is too coarse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.api.checkpoint import load_checkpoint, save_checkpoint
+from repro.api.config import ConfigError, SimulationConfig
+from repro.api.registry import CELLS, FIELDS, FUNCTIONALS, PROPAGATORS
+from repro.constants import AU_PER_ATTOSECOND
+from repro.grid.fftgrid import PlaneWaveGrid
+from repro.hamiltonian.hamiltonian import Hamiltonian
+from repro.rt.propagator import PropagationRecord, TDState
+from repro.scf.groundstate import GroundState, run_scf
+
+ConfigLike = Union[SimulationConfig, Mapping[str, Any]]
+
+
+@dataclass
+class SimulationResult:
+    """Everything one propagation produced, with provenance.
+
+    ``record`` holds the observable time series; ``final_state`` is the
+    state the trajectory ended in (feed it back through a checkpoint to
+    continue); ``config`` is the exact configuration that ran.
+    """
+
+    config: SimulationConfig
+    record: PropagationRecord
+    final_state: TDState
+    ground_state: Optional[GroundState] = None
+
+    def observables(self) -> Dict[str, np.ndarray]:
+        """The recorded series as plain arrays (keys: times, dipole, ...)."""
+        return self.record.as_arrays()
+
+    def save_npz(self, path) -> Path:
+        """Persist observables + final state + config to one ``.npz``."""
+        path = Path(path)
+        payload: Dict[str, Any] = {
+            "config_json": np.str_(self.config.to_json()),
+            "final_phi": np.asarray(self.final_state.phi, dtype=complex),
+            "final_sigma": np.asarray(self.final_state.sigma, dtype=complex),
+            "final_time": np.float64(self.final_state.time),
+        }
+        for key, arr in self.observables().items():
+            payload[key] = arr
+        np.savez(path, **payload)
+        return path
+
+    @staticmethod
+    def load_npz(path) -> Tuple[SimulationConfig, Dict[str, np.ndarray]]:
+        """Read back ``(config, arrays)`` from :meth:`save_npz` output."""
+        path = Path(path)
+        with np.load(path, allow_pickle=False) as data:
+            if "config_json" not in data:
+                raise ConfigError(f"{path} is not a repro result file (missing config_json)")
+            config = SimulationConfig.from_json(str(data["config_json"]))
+            arrays = {k: np.array(data[k]) for k in data.files if k != "config_json"}
+        return config, arrays
+
+    def summary(self) -> str:
+        """Human-readable observable table (what the CLI and examples print)."""
+        r = self.record
+        lines = [
+            f"{'t (as)':>9} {'dipole_x':>12} {'E_tot (Ha)':>15} {'N_e':>10} {'outer/inner':>12}"
+        ]
+        for i, t in enumerate(r.times):
+            stats = r.stats[i]
+            energy = r.energy[i]
+            e_str = f"{energy:15.8f}" if np.isfinite(energy) else f"{'-':>15}"
+            lines.append(
+                f"{t / AU_PER_ATTOSECOND:9.1f} {r.dipole[i][0]:12.6f} {e_str} "
+                f"{r.particle_number[i]:10.6f} "
+                f"{stats.outer_iterations:>5}/{stats.scf_iterations:<5}"
+            )
+        return "\n".join(lines)
+
+
+class Simulation:
+    """Config-driven driver owning the full component chain lazily.
+
+    Parameters
+    ----------
+    config:
+        A :class:`SimulationConfig` or a nested plain dict.
+    ground_state:
+        Optional pre-converged ground state (skips SCF) — used by
+        :meth:`resume` and :meth:`derive` to share expensive work.
+    state:
+        Optional propagation state to continue from instead of the
+        ground state (mid-trajectory restart).
+    """
+
+    def __init__(
+        self,
+        config: ConfigLike,
+        ground_state: Optional[GroundState] = None,
+        state: Optional[TDState] = None,
+    ) -> None:
+        if isinstance(config, SimulationConfig):
+            self.config = config
+        elif isinstance(config, Mapping):
+            self.config = SimulationConfig.from_dict(config)
+        else:
+            raise ConfigError(
+                f"config must be a SimulationConfig or mapping, got {type(config).__name__}"
+            )
+        self._cell = None
+        self._grid: Optional[PlaneWaveGrid] = None
+        self._field = None
+        self._ham: Optional[Hamiltonian] = None
+        self._gs = ground_state
+        self._state = state
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def from_config(cls, config: ConfigLike, **kwargs) -> "Simulation":
+        return cls(config, **kwargs)
+
+    @classmethod
+    def from_file(cls, path) -> "Simulation":
+        """Build from a ``.toml`` or ``.json`` config file."""
+        return cls(SimulationConfig.from_file(path))
+
+    @classmethod
+    def resume(cls, path) -> "Simulation":
+        """Reload a checkpoint and continue the trajectory from it."""
+        ckpt = load_checkpoint(path)
+        return cls(ckpt.config, ground_state=ckpt.ground_state, state=ckpt.state)
+
+    def derive(self, **sections) -> "Simulation":
+        """A new simulation with config sections changed, sharing caches.
+
+        Cached components carry over when the sections defining them are
+        untouched: the grid for an unchanged ``system``, the field for an
+        unchanged ``field`` section, the ground state for unchanged
+        ``system`` + ``scf``.  The Hamiltonian is always rebuilt (it
+        carries mutable density/exchange/time state that must not leak
+        between runs), and the propagation state is never shared — the
+        derived run starts fresh from its ground state.  E.g. compare
+        propagators on one SCF::
+
+            rk4 = sim.derive(propagation={"propagator": "rk4", "dt_as": 1.0})
+        """
+        new = Simulation(self.config.replace(**sections))
+        if new.config.field == self.config.field:
+            new._field = self._field
+        if new.config.system == self.config.system:
+            new._cell = self._cell
+            new._grid = self._grid
+            if new.config.scf == self.config.scf:
+                new._gs = self._gs
+        return new
+
+    # -- lazy components -----------------------------------------------------
+    @property
+    def cell(self):
+        if self._cell is None:
+            sys = self.config.system
+            self._cell = CELLS.build(sys.cell, **sys.cell_params)
+        return self._cell
+
+    @property
+    def grid(self) -> PlaneWaveGrid:
+        if self._grid is None:
+            sys = self.config.system
+            self._grid = PlaneWaveGrid(self.cell, ecut=sys.ecut, dual=sys.dual)
+        return self._grid
+
+    @property
+    def functional(self):
+        sys = self.config.system
+        return FUNCTIONALS.build(sys.functional, **sys.functional_params)
+
+    @property
+    def field(self):
+        if self._field is None:
+            fld = self.config.field
+            self._field = FIELDS.build(fld.kind, **fld.params)
+        return self._field
+
+    @property
+    def hamiltonian(self) -> Hamiltonian:
+        if self._ham is None:
+            sys = self.config.system
+            self._ham = Hamiltonian(
+                self.grid,
+                self.functional,
+                field=self.field,
+                degeneracy=sys.degeneracy,
+                fock_batch_size=sys.fock_batch_size,
+            )
+        return self._ham
+
+    # -- ground state --------------------------------------------------------
+    def ground_state(self) -> GroundState:
+        """Converge (once) and cache the SCF ground state."""
+        if self._gs is None:
+            self._gs = run_scf(self.hamiltonian, self.config.scf.to_options())
+        return self._gs
+
+    @property
+    def state(self) -> TDState:
+        """Current propagation state (initialized from the ground state)."""
+        if self._state is None:
+            gs = self.ground_state()
+            self._state = TDState(gs.orbitals.copy(), gs.sigma.copy(), 0.0)
+        return self._state
+
+    # -- propagation ---------------------------------------------------------
+    def build_propagator(self):
+        """The configured propagator over this simulation's Hamiltonian."""
+        prop = self.config.propagation
+        return PROPAGATORS.build(
+            prop.propagator,
+            self.hamiltonian,
+            dict(prop.options),
+            track_sigma=[tuple(p) for p in prop.track_sigma],
+            record_energy=prop.record_energy,
+        )
+
+    def propagate(
+        self,
+        n_steps: Optional[int] = None,
+        dt_as: Optional[float] = None,
+        observe_every: Optional[int] = None,
+    ) -> SimulationResult:
+        """Run the configured propagation from the current state.
+
+        Arguments override the corresponding ``propagation`` config keys
+        for this call only.  The simulation's state advances, so calling
+        again continues the trajectory.
+        """
+        prop_cfg = self.config.propagation
+        n_steps = prop_cfg.n_steps if n_steps is None else int(n_steps)
+        dt_as = prop_cfg.dt_as if dt_as is None else float(dt_as)
+        observe_every = (
+            prop_cfg.observe_every if observe_every is None else int(observe_every)
+        )
+        if n_steps < 0:
+            raise ConfigError(f"n_steps must be >= 0, got {n_steps}")
+        if dt_as <= 0.0:
+            raise ConfigError(f"dt_as must be positive, got {dt_as}")
+
+        propagator = self.build_propagator()
+        final = propagator.propagate(
+            self.state,
+            dt=dt_as * AU_PER_ATTOSECOND,
+            n_steps=n_steps,
+            observe_every=observe_every,
+        )
+        self._state = final
+        return SimulationResult(
+            config=self.config,
+            record=propagator.record,
+            final_state=final,
+            ground_state=self._gs,
+        )
+
+    def run(self) -> SimulationResult:
+        """Ground state + full configured propagation (the CLI entry)."""
+        self.ground_state()
+        return self.propagate()
+
+    # -- checkpointing --------------------------------------------------------
+    def save_checkpoint(self, path) -> Path:
+        """Snapshot state + config (+ ground state) to one ``.npz``."""
+        return save_checkpoint(path, self.config, self.state, self._gs)

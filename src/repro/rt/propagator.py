@@ -169,12 +169,20 @@ class PropagatorBase:
     ) -> TDState:
         """Run ``n_steps`` of size ``dt``, recording observables.
 
-        The initial state is recorded before the first step.
+        The initial state is recorded before the first step, and the
+        final state is always recorded — even when ``n_steps`` is not a
+        multiple of ``observe_every``.
         """
         require(dt > 0 and n_steps >= 0, "dt must be positive, n_steps >= 0")
+        require(observe_every >= 1, "observe_every must be >= 1")
         self.observe(state)
-        for n in range(n_steps):
+        stats = None
+        last_observed = 0
+        for n in range(1, n_steps + 1):
             state, stats = self.step(state, dt)
-            if (n + 1) % observe_every == 0:
+            if n % observe_every == 0:
                 self.observe(state, stats)
+                last_observed = n
+        if last_observed != n_steps and n_steps > 0:
+            self.observe(state, stats)
         return state

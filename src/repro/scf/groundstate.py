@@ -121,7 +121,13 @@ def run_scf(
     opts = options or SCFOptions()
     grid = ham.grid
     kt = kelvin_to_hartree(opts.temperature_k)
-    nbands = opts.nbands or default_nbands(ham.n_electrons, ham.cell.natom)
+    # `is None`, not truthiness: an explicit nbands=0 must error below,
+    # not silently fall back to the default band count
+    if opts.nbands is None:
+        nbands = default_nbands(ham.n_electrons, ham.cell.natom)
+    else:
+        nbands = int(opts.nbands)
+    require(nbands > 0, f"nbands must be a positive band count, got {opts.nbands!r}")
     require(
         nbands * ham.degeneracy >= ham.n_electrons,
         f"{nbands} bands cannot hold {ham.n_electrons} electrons",

@@ -1,0 +1,137 @@
+"""CLI: ``python -m repro`` subcommands, including a real subprocess run.
+
+The subprocess smoke test uses a deliberately tiny/loose config — it
+exercises the full config → SCF → propagate → save path, not physics.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api import SimulationResult
+from repro.api.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+TINY_TOML = """
+[system]
+cell = "silicon_cubic"
+ecut = 2.0
+functional = "lda"
+
+[scf]
+nbands = 20
+density_tol = 1e-4
+max_scf = 15
+
+[field]
+kind = "gaussian_pulse"
+[field.params]
+amplitude = 0.02
+center_fs = 0.05
+fwhm_fs = 0.08
+
+[propagation]
+propagator = "ptim"
+dt_as = 50.0
+n_steps = 2
+[propagation.options]
+density_tol = 1e-6
+"""
+
+
+def _cli(args, cwd):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep * bool(env.get("PYTHONPATH")) + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        cwd=cwd,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_config(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "tiny.toml"
+    path.write_text(TINY_TOML)
+    return path
+
+
+def test_cli_run_resume_smoke(tiny_config):
+    """`python -m repro run` then `resume` on a tiny config, via subprocess."""
+    workdir = tiny_config.parent
+    proc = _cli(
+        ["run", str(tiny_config), "--output", "out.npz", "--checkpoint", "ck.npz"],
+        cwd=workdir,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "converged" in proc.stdout
+    assert (workdir / "out.npz").exists() and (workdir / "ck.npz").exists()
+
+    config, arrays = SimulationResult.load_npz(workdir / "out.npz")
+    assert config.propagation.propagator == "ptim"
+    assert len(arrays["times"]) == 3  # initial + 2 steps
+    assert np.all(np.isfinite(arrays["energy"]))
+
+    proc = _cli(["resume", "ck.npz", "--steps", "1", "--output", "more.npz"], cwd=workdir)
+    assert proc.returncode == 0, proc.stderr
+    _, more = SimulationResult.load_npz(workdir / "more.npz")
+    # resumed trajectory continues the time axis
+    assert more["times"][0] == arrays["times"][-1]
+    assert len(more["times"]) == 2
+
+
+def test_cli_components(capsys):
+    assert main(["components"]) == 0
+    out = capsys.readouterr().out
+    for line in ("cell:", "functional:", "field:", "propagator:"):
+        assert line in out
+    assert "ptim_ace" in out
+
+
+def test_cli_validate_ok(tiny_config, capsys):
+    assert main(["validate", str(tiny_config)]) == 0
+    out = capsys.readouterr().out
+    assert '"propagator": "ptim"' in out
+
+
+def test_cli_validate_unknown_key(tmp_path, capsys):
+    bad = tmp_path / "bad.toml"
+    bad.write_text("[system]\necutt = 3.0\n")
+    assert main(["validate", str(bad)]) == 2
+    assert "system.ecutt" in capsys.readouterr().err
+
+
+def test_cli_validate_unknown_component(tmp_path, capsys):
+    bad = tmp_path / "bad.toml"
+    bad.write_text('[propagation]\npropagator = "magic"\n')
+    assert main(["validate", str(bad)]) == 2
+    assert "unknown propagator" in capsys.readouterr().err
+
+
+def test_cli_missing_file(capsys):
+    assert main(["run", "no/such/config.toml"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_cli_perf_report(capsys):
+    assert main(["perf", "--machine", "fugaku-arm"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig 9" in out and "Fig 11" in out and "fugaku-arm" in out
+
+
+def test_shipped_quickstart_config_validates(capsys):
+    cfg = REPO_ROOT / "examples" / "configs" / "quickstart.toml"
+    assert main(["validate", str(cfg)]) == 0
+    out = capsys.readouterr().out
+    assert '"propagator": "ptim_ace"' in out
+    cfg2 = REPO_ROOT / "examples" / "configs" / "ci_smoke.toml"
+    assert main(["validate", str(cfg2)]) == 0

@@ -1,0 +1,218 @@
+"""Config layer: strict parsing, round-trips, registry wiring."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    CELLS,
+    FIELDS,
+    FUNCTIONALS,
+    PROPAGATORS,
+    ConfigError,
+    Registry,
+    RegistryError,
+    SCFConfig,
+    SimulationConfig,
+    available_components,
+)
+from repro.scf.groundstate import SCFOptions
+
+FULL_DICT = {
+    "system": {
+        "cell": "silicon_supercell",
+        "cell_params": {"reps": [1, 1, 2]},
+        "ecut": 2.5,
+        "dual": 2,
+        "functional": "pbe0",
+        "functional_params": {"alpha": 0.3},
+    },
+    "scf": {"nbands": 40, "temperature_k": 5000.0, "max_outer": 5},
+    "field": {"kind": "gaussian_pulse", "params": {"amplitude": 0.01, "polarization": [0, 1, 0]}},
+    "propagation": {
+        "propagator": "ptim",
+        "dt_as": 25.0,
+        "n_steps": 4,
+        "observe_every": 2,
+        "track_sigma": [[0, 1], [3, 3]],
+        "record_energy": False,
+        "options": {"density_tol": 1e-8},
+    },
+}
+
+
+# ---------------- round trips ---------------------------------------------------
+def test_dict_round_trip():
+    cfg = SimulationConfig.from_dict(FULL_DICT)
+    assert SimulationConfig.from_dict(cfg.to_dict()) == cfg
+
+
+def test_json_round_trip():
+    cfg = SimulationConfig.from_dict(FULL_DICT)
+    assert SimulationConfig.from_json(cfg.to_json()) == cfg
+    # to_dict is json-clean (no tuples, numpy types, or None)
+    json.dumps(cfg.to_dict())
+
+
+def test_toml_round_trip(tmp_path):
+    toml = """
+[system]
+cell = "silicon_cubic"
+ecut = 2.0
+functional = "lda"
+
+[scf]
+nbands = 18
+temperature_k = 8000.0
+
+[field]
+kind = "static_kick"
+[field.params]
+kick = 2e-3
+
+[propagation]
+propagator = "ptim"
+dt_as = 50.0
+n_steps = 2
+track_sigma = [[0, 2]]
+[propagation.options]
+density_tol = 1e-7
+"""
+    path = tmp_path / "run.toml"
+    path.write_text(toml)
+    cfg = SimulationConfig.from_file(path)
+    assert cfg.system.functional == "lda"
+    assert cfg.scf.nbands == 18
+    assert cfg.field.params == {"kick": 2e-3}
+    assert cfg.propagation.track_sigma == ((0, 2),)
+    assert cfg.propagation.options == {"density_tol": 1e-7}
+    assert SimulationConfig.from_dict(cfg.to_dict()) == cfg
+
+
+def test_json_file_round_trip(tmp_path):
+    cfg = SimulationConfig.from_dict(FULL_DICT)
+    path = tmp_path / "run.json"
+    path.write_text(cfg.to_json(indent=2))
+    assert SimulationConfig.from_file(path) == cfg
+
+
+def test_defaults_build_without_input():
+    cfg = SimulationConfig.from_dict({})
+    assert cfg.system.cell == "silicon_cubic"
+    assert cfg.propagation.propagator == "ptim_ace"
+    assert cfg.scf.nbands is None  # to_dict drops it; from_dict restores default
+    assert SimulationConfig.from_dict(cfg.to_dict()) == cfg
+
+
+# ---------------- strictness ---------------------------------------------------
+def test_unknown_top_level_section_rejected():
+    with pytest.raises(ConfigError, match="unknown config section"):
+        SimulationConfig.from_dict({"sytem": {}})
+
+
+@pytest.mark.parametrize(
+    "section,key",
+    [("system", "ecutt"), ("scf", "n_bands"), ("field", "amplitude"), ("propagation", "dt")],
+)
+def test_unknown_section_key_names_dotted_path(section, key):
+    with pytest.raises(ConfigError, match=rf"{section}\.{key}"):
+        SimulationConfig.from_dict({section: {key: 1}})
+
+
+@pytest.mark.parametrize(
+    "section,patch,match",
+    [
+        ("system", {"ecut": -1.0}, r"system\.ecut"),
+        ("system", {"dual": 3}, r"system\.dual"),
+        ("scf", {"nbands": 0}, r"scf\.nbands"),
+        ("scf", {"density_tol": 0.0}, r"scf\.density_tol"),
+        ("propagation", {"dt_as": 0.0}, r"propagation\.dt_as"),
+        ("propagation", {"observe_every": 0}, r"propagation\.observe_every"),
+        ("propagation", {"track_sigma": [[1]]}, r"propagation\.track_sigma"),
+    ],
+)
+def test_invalid_values_name_the_key(section, patch, match):
+    with pytest.raises(ConfigError, match=match):
+        SimulationConfig.from_dict({section: patch})
+
+
+def test_file_format_rejected(tmp_path):
+    path = tmp_path / "run.yaml"
+    path.write_text("system: {}")
+    with pytest.raises(ConfigError, match="unsupported config format"):
+        SimulationConfig.from_file(path)
+
+
+def test_invalid_toml_reports_path(tmp_path):
+    path = tmp_path / "broken.toml"
+    path.write_text("[system\necut = ")
+    with pytest.raises(ConfigError, match="invalid TOML"):
+        SimulationConfig.from_file(path)
+
+
+# ---------------- replace / derivation ------------------------------------------
+def test_replace_merges_section_dict():
+    cfg = SimulationConfig.from_dict(FULL_DICT)
+    out = cfg.replace(propagation={"propagator": "rk4", "options": {}})
+    assert out.propagation.propagator == "rk4"
+    assert out.propagation.dt_as == cfg.propagation.dt_as  # untouched keys kept
+    assert out.system == cfg.system
+    assert cfg.propagation.propagator == "ptim"  # original untouched
+
+
+def test_replace_unknown_section_rejected():
+    cfg = SimulationConfig.from_dict({})
+    with pytest.raises(ConfigError, match="unknown config section"):
+        cfg.replace(propagtion={})
+
+
+def test_scf_config_maps_onto_scf_options():
+    cfg = SCFConfig.from_dict({"nbands": 12, "temperature_k": 300.0, "seed": 3})
+    opts = cfg.to_options()
+    assert isinstance(opts, SCFOptions)
+    assert (opts.nbands, opts.temperature_k, opts.seed) == (12, 300.0, 3)
+
+
+# ---------------- registries ---------------------------------------------------
+def test_builtin_components_registered():
+    comps = available_components()
+    assert "silicon_cubic" in comps["cell"]
+    assert {"lda", "hse", "pbe0"} <= set(comps["functional"])
+    assert {"zero", "gaussian_pulse", "static_kick"} <= set(comps["field"])
+    assert {"rk4", "ptim", "ptim_ace", "ptcn"} <= set(comps["propagator"])
+
+
+@pytest.mark.parametrize("registry", [CELLS, FUNCTIONALS, FIELDS, PROPAGATORS])
+def test_unknown_registry_key_lists_known(registry):
+    with pytest.raises(RegistryError) as err:
+        registry.get("no_such_component")
+    message = str(err.value)
+    assert "no_such_component" in message
+    for name in registry.names():
+        assert name in message
+
+
+def test_register_decorator_and_duplicate_rejection():
+    reg = Registry("widget")
+
+    @reg.register("one")
+    def make_one():
+        return 1
+
+    assert reg.get("one") is make_one
+    assert reg.build("one") == 1
+    assert "one" in reg
+    with pytest.raises(RegistryError, match="already registered"):
+        reg.register("one", lambda: 2)
+    reg.unregister("one")
+    assert "one" not in reg
+
+
+def test_registry_bad_parameters_named():
+    with pytest.raises(RegistryError, match="bad parameters for field 'zero'"):
+        FIELDS.build("zero", bogus=1)
+
+
+def test_propagator_options_validated():
+    with pytest.raises(RegistryError, match="unknown option"):
+        PROPAGATORS.build("ptim", None, {"densty_tol": 1e-6})

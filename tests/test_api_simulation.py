@@ -1,0 +1,153 @@
+"""Simulation facade: laziness, checkpoint/resume bitwise identity, results IO.
+
+A single module-scoped LDA ground state is shared through
+``Simulation.derive`` (which carries caches across config tweaks), so the
+expensive SCF runs once.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import ConfigError, RegistryError, Simulation, SimulationResult
+
+CFG = {
+    "system": {"cell": "silicon_cubic", "ecut": 2.0, "functional": "lda"},
+    "scf": {"nbands": 20, "density_tol": 1e-5, "max_scf": 40},
+    "field": {"kind": "gaussian_pulse",
+              "params": {"amplitude": 0.02, "center_fs": 0.05, "fwhm_fs": 0.08}},
+    "propagation": {"propagator": "ptim", "dt_as": 50.0, "n_steps": 3,
+                    "track_sigma": [[0, 2]], "options": {"density_tol": 1e-7}},
+}
+
+OBSERVABLE_KEYS = ("times", "dipole", "energy", "particle_number", "field", "sigma_0_2")
+
+
+@pytest.fixture(scope="module")
+def base_sim():
+    sim = Simulation.from_config(CFG)
+    sim.ground_state()
+    return sim
+
+
+def _fresh(base_sim) -> Simulation:
+    """A new simulation sharing the converged ground state, fresh state."""
+    return base_sim.derive()
+
+
+# ---------------- laziness / caching ------------------------------------------
+def test_components_cached(base_sim):
+    assert base_sim.grid is base_sim.grid
+    assert base_sim.hamiltonian is base_sim.hamiltonian
+    assert base_sim.ground_state() is base_sim.ground_state()
+
+
+def test_ground_state_converged(base_sim):
+    gs = base_sim.ground_state()
+    assert gs.converged
+    assert gs.orbitals.shape[0] == 20
+
+
+def test_derive_shares_and_isolates(base_sim):
+    same = base_sim.derive(propagation={"propagator": "rk4", "dt_as": 1.0, "options": {}})
+    assert same._gs is base_sim._gs  # unchanged system+scf: SCF shared
+    assert same._grid is base_sim._grid
+    other = base_sim.derive(system={"ecut": 2.5})
+    assert other._gs is None  # changed system: must re-converge
+    assert other._grid is None
+
+
+def test_unknown_component_surfaces_at_build():
+    sim = Simulation.from_config({**CFG, "system": {**CFG["system"], "functional": "b3lyp"}})
+    with pytest.raises(RegistryError, match="unknown functional 'b3lyp'"):
+        _ = sim.hamiltonian
+
+
+def test_propagate_argument_validation(base_sim):
+    sim = _fresh(base_sim)
+    with pytest.raises(ConfigError, match="n_steps"):
+        sim.propagate(n_steps=-1)
+    with pytest.raises(ConfigError, match="dt_as"):
+        sim.propagate(dt_as=0.0)
+
+
+# ---------------- checkpoint / resume ------------------------------------------
+@pytest.fixture(scope="module")
+def trajectory(base_sim, tmp_path_factory):
+    """Uninterrupted 3-step run vs 2 steps + checkpoint + resumed 1 step."""
+    tmp = tmp_path_factory.mktemp("ckpt")
+
+    straight = _fresh(base_sim).propagate()  # configured 3 steps
+
+    interrupted = _fresh(base_sim)
+    interrupted.propagate(n_steps=2)
+    ckpt = interrupted.save_checkpoint(tmp / "mid.npz")
+
+    resumed_sim = Simulation.resume(ckpt)
+    resumed = resumed_sim.propagate(n_steps=1)
+    return straight, resumed, resumed_sim
+
+
+def test_resume_restores_config_and_ground_state(base_sim, trajectory):
+    straight, resumed, resumed_sim = trajectory
+    assert resumed_sim.config == base_sim.config
+    gs = resumed_sim._gs
+    assert gs is not None  # no SCF re-run on resume
+    assert gs.total_energy == base_sim.ground_state().total_energy
+    np.testing.assert_array_equal(gs.orbitals, base_sim.ground_state().orbitals)
+
+
+def test_resume_continues_time_axis(trajectory):
+    straight, resumed, _ = trajectory
+    a, c = straight.observables(), resumed.observables()
+    # resumed record: [t2 (initial observation), t3]
+    assert c["times"][0] == a["times"][2]
+    assert c["times"][-1] == a["times"][-1]
+
+
+@pytest.mark.parametrize("key", OBSERVABLE_KEYS)
+def test_resume_observables_bitwise_identical(trajectory, key):
+    """The paper-grade restart guarantee: resuming mid-trajectory and
+    stepping once gives *bitwise* the observables of the uninterrupted run."""
+    straight, resumed, _ = trajectory
+    a, c = straight.observables()[key], resumed.observables()[key]
+    np.testing.assert_array_equal(a[-1], c[-1])
+    np.testing.assert_array_equal(a[-2], c[-2])
+
+
+def test_resume_final_state_bitwise_identical(trajectory):
+    straight, resumed, _ = trajectory
+    np.testing.assert_array_equal(straight.final_state.phi, resumed.final_state.phi)
+    np.testing.assert_array_equal(straight.final_state.sigma, resumed.final_state.sigma)
+    assert straight.final_state.time == resumed.final_state.time
+
+
+def test_state_advances_with_propagation(base_sim, trajectory):
+    straight, _, _ = trajectory
+    dt_au = straight.record.times[1] - straight.record.times[0]
+    assert straight.final_state.time == pytest.approx(3 * dt_au)
+
+
+# ---------------- result files --------------------------------------------------
+def test_result_npz_round_trip(trajectory, tmp_path):
+    straight, _, _ = trajectory
+    path = straight.save_npz(tmp_path / "run.npz")
+    config, arrays = SimulationResult.load_npz(path)
+    assert config == straight.config
+    for key in OBSERVABLE_KEYS:
+        np.testing.assert_array_equal(arrays[key], straight.observables()[key])
+    np.testing.assert_array_equal(arrays["final_phi"], straight.final_state.phi)
+
+
+def test_result_summary_mentions_all_times(trajectory):
+    straight, _, _ = trajectory
+    text = straight.summary()
+    assert len(text.splitlines()) == 1 + len(straight.record.times)
+
+
+def test_checkpoint_rejects_non_checkpoint_npz(tmp_path):
+    from repro.api import load_checkpoint
+
+    path = tmp_path / "junk.npz"
+    np.savez(path, a=np.zeros(3))
+    with pytest.raises(ConfigError, match="not a repro checkpoint"):
+        load_checkpoint(path)

@@ -192,3 +192,35 @@ def test_laser_excites_sigma_offdiagonals(hse_ground_state):
     # cell size)
     offdiag = final.sigma - np.diag(np.diag(final.sigma))
     assert np.abs(offdiag).max() > 1e-8
+
+
+# ---------------- observation schedule ------------------------------------------------
+class _FreePropagator(PTIMPropagator):
+    """Trivial step (state unchanged, time advanced) to test the driver."""
+
+    def step(self, state, dt):
+        return TDState(state.phi, state.sigma, state.time + dt), None
+
+
+def test_propagate_always_records_final_state(lda_ground_state):
+    """Regression: with n_steps % observe_every != 0 the last state used
+    to be silently dropped from the record."""
+    ham, gs = lda_ground_state
+    ham.field = ZeroField()
+    prop = _FreePropagator(ham, record_energy=False)
+    dt = DT_50AS
+    final = prop.propagate(_state(gs), dt=dt, n_steps=5, observe_every=2)
+    times = np.asarray(prop.record.times)
+    # initial + steps 2, 4, and the final (5th) step
+    assert np.allclose(times / dt, [0.0, 2.0, 4.0, 5.0])
+    assert times[-1] == pytest.approx(final.time)
+
+
+def test_propagate_no_double_record_when_divisible(lda_ground_state):
+    ham, gs = lda_ground_state
+    ham.field = ZeroField()
+    prop = _FreePropagator(ham, record_energy=False)
+    dt = DT_50AS
+    prop.propagate(_state(gs), dt=dt, n_steps=4, observe_every=2)
+    times = np.asarray(prop.record.times)
+    assert np.allclose(times / dt, [0.0, 2.0, 4.0])

@@ -240,3 +240,13 @@ def test_scf_reasonable_silicon_energy(lda_ground_state):
     _, gs = lda_ground_state
     per_atom = gs.total_energy / 8.0
     assert -5.0 < per_atom < -3.0
+
+
+def test_scf_rejects_nonpositive_nbands(ham):
+    """Regression: an explicit falsy nbands must error, not silently
+    fall back to the default band count."""
+    from repro.scf import SCFOptions, run_scf
+
+    for bad in (0, -3):
+        with pytest.raises(ValueError, match="nbands must be a positive band count"):
+            run_scf(ham, SCFOptions(nbands=bad, max_scf=1))
