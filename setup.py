@@ -12,11 +12,11 @@ _readme = Path(__file__).parent / "README.md"
 
 setup(
     name="repro",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Finite-temperature hybrid-functional rt-TDDFT reproduction: "
         "PT-IM / PT-IM-ACE propagators, plane-wave Kohn-Sham stack, "
-        "declarative simulation facade and CLI"
+        "declarative simulation facade, ensemble sweep engine and CLI"
     ),
     long_description=_readme.read_text() if _readme.exists() else "",
     long_description_content_type="text/markdown",
@@ -25,7 +25,7 @@ setup(
     package_dir={"": "src"},
     packages=find_packages("src"),
     python_requires=">=3.11",
-    install_requires=["numpy", "scipy"],
+    install_requires=["numpy>=1.26", "scipy"],
     extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
     entry_points={"console_scripts": ["repro = repro.__main__:main"]},
     classifiers=[

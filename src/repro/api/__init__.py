@@ -1,9 +1,12 @@
 """``repro.api`` — the declarative front door to the whole package.
 
-One import gives configs, registries, the :class:`Simulation` facade and
-checkpointing; ``python -m repro`` exposes the same surface on the
-command line.  The low-level modules (:mod:`repro.scf`, :mod:`repro.rt`,
-:mod:`repro.hamiltonian`, ...) remain fully supported for custom wiring.
+One import gives configs, registries, the :class:`Simulation` facade,
+checkpointing, and the ensemble sweep engine (:class:`SweepConfig` +
+:func:`run_ensemble` -> :class:`EnsembleResult` for whole families of
+runs); ``python -m repro`` exposes the same surface on the command line,
+including ``repro sweep``.  The low-level modules (:mod:`repro.scf`,
+:mod:`repro.rt`, :mod:`repro.hamiltonian`, ...) remain fully supported
+for custom wiring.
 """
 
 from repro.api.checkpoint import Checkpoint, load_checkpoint, save_checkpoint
@@ -13,7 +16,17 @@ from repro.api.config import (
     PropagationConfig,
     SCFConfig,
     SimulationConfig,
+    SweepConfig,
     SystemConfig,
+    load_sweep_file,
+)
+from repro.api.ensemble import (
+    EnsembleResult,
+    RunRecord,
+    SweepVariant,
+    apply_overrides,
+    expand_sweep,
+    run_ensemble,
 )
 from repro.api.registry import (
     CELLS,
@@ -39,7 +52,15 @@ __all__ = [
     "PropagationConfig",
     "SCFConfig",
     "SimulationConfig",
+    "SweepConfig",
     "SystemConfig",
+    "load_sweep_file",
+    "EnsembleResult",
+    "RunRecord",
+    "SweepVariant",
+    "apply_overrides",
+    "expand_sweep",
+    "run_ensemble",
     "CELLS",
     "FIELDS",
     "FUNCTIONALS",

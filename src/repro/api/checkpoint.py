@@ -19,7 +19,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.api.config import ConfigError, SimulationConfig
+from repro.api.config import ConfigError, SimulationConfig, check_config_matches
 from repro.rt.propagator import TDState
 from repro.scf.groundstate import GroundState
 
@@ -60,10 +60,23 @@ def save_checkpoint(
     return path
 
 
-def load_checkpoint(path) -> Checkpoint:
-    """Read a checkpoint written by :func:`save_checkpoint`."""
+def load_checkpoint(
+    path, expected_config: Optional[SimulationConfig] = None
+) -> Checkpoint:
+    """Read a checkpoint written by :func:`save_checkpoint`.
+
+    ``expected_config`` (when given) must equal the config embedded in
+    the file; a mismatch raises :class:`ConfigError` naming the
+    differing keys — resuming a trajectory under a silently different
+    setup is never what anyone wants.
+    """
     path = Path(path)
     with np.load(path, allow_pickle=False) as data:
+        if "final_phi" in data:
+            raise ConfigError(
+                f"{path} is a repro result file, not a checkpoint; "
+                f"read it with SimulationResult.load_npz"
+            )
         for key in ("version", "config_json", "phi", "sigma", "time"):
             if key not in data:
                 raise ConfigError(f"{path} is not a repro checkpoint (missing {key!r})")
@@ -73,6 +86,7 @@ def load_checkpoint(path) -> Checkpoint:
                 f"checkpoint {path} has version {version}; this build reads <= {CHECKPOINT_VERSION}"
             )
         config = SimulationConfig.from_json(str(data["config_json"]))
+        check_config_matches(config, expected_config, path, "checkpoint")
         state = TDState(
             phi=np.array(data["phi"], dtype=complex),
             sigma=np.array(data["sigma"], dtype=complex),

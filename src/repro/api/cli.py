@@ -7,6 +7,10 @@ Commands
     ``.toml``/``.json`` config file; optionally save results/checkpoint.
 ``resume CKPT``
     Continue a checkpointed trajectory for more steps.
+``sweep CONFIG``
+    Expand a config with a ``[sweep]`` section into a run grid and
+    execute it (``--workers``/``--scheduler``), or list the grid with
+    ``--dry-run``; saves an ensemble ``.npz``.
 ``validate CONFIG``
     Parse + validate a config and print its normalized JSON.
 ``components``
@@ -21,7 +25,6 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.api.config import ConfigError, SimulationConfig
 from repro.api.registry import (
     CELLS,
     FIELDS,
@@ -54,6 +57,24 @@ def _build_parser() -> argparse.ArgumentParser:
     resume.add_argument("--checkpoint", default=None, metavar="NPZ", help="save a new checkpoint")
     resume.add_argument("--quiet", action="store_true", help="suppress the observable table")
 
+    sweep = sub.add_parser("sweep", help="expand and run a config sweep ([sweep] section)")
+    sweep.add_argument("config", help="path to a .toml or .json config with a [sweep] section")
+    sweep.add_argument("--workers", type=int, default=None, help="override sweep.workers")
+    sweep.add_argument(
+        "--scheduler",
+        choices=("auto", "serial", "thread", "process"),
+        default=None,
+        help="override sweep.scheduler",
+    )
+    sweep.add_argument(
+        "--dry-run", action="store_true", help="list the expanded run grid and exit"
+    )
+    sweep.add_argument(
+        "--output", default=None, metavar="NPZ",
+        help="ensemble output path (default: sweep.output from the config)",
+    )
+    sweep.add_argument("--quiet", action="store_true", help="suppress per-run progress lines")
+
     validate = sub.add_parser("validate", help="check a config file and print it normalized")
     validate.add_argument("config", help="path to a .toml or .json simulation config")
 
@@ -81,7 +102,16 @@ def _finish(sim: Simulation, result, args) -> None:
 
 
 def _cmd_run(args) -> int:
-    sim = Simulation.from_file(args.config)
+    from repro.api.config import ConfigError, load_sweep_file
+
+    base, sweep = load_sweep_file(args.config)
+    if sweep.axes:
+        # even a single-point axis must not be silently dropped
+        raise ConfigError(
+            f"{args.config} defines a sweep of {sweep.n_runs} run(s); "
+            f"execute it with: repro sweep {args.config}"
+        )
+    sim = Simulation(base)
     cfg = sim.config
     if not args.quiet:
         print(
@@ -119,17 +149,65 @@ def _cmd_resume(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    from repro.api.config import load_sweep_file
+    from repro.api.ensemble import expand_sweep, resolve_scheduler, run_ensemble
+
+    base, sweep = load_sweep_file(args.config)
+    variants = expand_sweep(base, sweep)
+    workers = sweep.workers if args.workers is None else args.workers
+    scheduler = resolve_scheduler(
+        sweep.scheduler if args.scheduler is None else args.scheduler, workers
+    )
+
+    if args.dry_run or not args.quiet:
+        print(
+            f"sweep: {len(variants)} runs "
+            f"({' x '.join(f'{k}[{len(v)}]' for k, v in sweep.axes.items()) or 'base only'}, "
+            f"mode {sweep.mode}) | scheduler {scheduler}, workers {workers}"
+        )
+    if args.dry_run:
+        print(f"{'run':>4}  overrides")
+        for v in variants:
+            print(f"{v.index:>4}  {v.label()}")
+        return 0
+
+    progress = None if args.quiet else print
+    result = run_ensemble(base, sweep, workers=workers, scheduler=scheduler, progress=progress)
+    print(result.summary())
+    output = args.output if args.output is not None else sweep.output
+    if output:
+        path = result.save_npz(output)
+        print(f"ensemble saved to {path}")
+    return 0 if not result.failures else 1
+
+
 def _cmd_validate(args) -> int:
-    cfg = SimulationConfig.from_file(args.config)
-    # surface registry typos at validate time, before any expensive build
-    for registry, key in (
-        (CELLS, cfg.system.cell),
-        (FUNCTIONALS, cfg.system.functional),
-        (FIELDS, cfg.field.kind),
-        (PROPAGATORS, cfg.propagation.propagator),
-    ):
-        registry.get(key)
+    from repro.api.config import load_sweep_file
+    from repro.api.ensemble import apply_overrides
+
+    cfg, sweep = load_sweep_file(args.config)
+
+    def _check_registry_keys(vcfg) -> None:
+        # surface registry typos at validate time, before any expensive build
+        for registry, key in (
+            (CELLS, vcfg.system.cell),
+            (FUNCTIONALS, vcfg.system.functional),
+            (FIELDS, vcfg.field.kind),
+            (PROPAGATORS, vcfg.propagation.propagator),
+        ):
+            registry.get(key)
+
+    _check_registry_keys(cfg)
+    # each axis value is validated independently (sum of axis lengths, not
+    # the cartesian product — a 4x10^4 grid must not stall `validate`);
+    # registry-backed keys and malformed paths all surface this way
+    for path, values in sweep.axes.items():
+        for value in values:
+            _check_registry_keys(apply_overrides(cfg, {path: value}))
     print(cfg.to_json(indent=2))
+    if sweep.axes:
+        print(f"sweep: {sweep.n_runs} runs over {', '.join(sweep.axes)}")
     return 0
 
 
@@ -150,6 +228,7 @@ def _cmd_perf(args) -> int:
 _COMMANDS = {
     "run": _cmd_run,
     "resume": _cmd_resume,
+    "sweep": _cmd_sweep,
     "validate": _cmd_validate,
     "components": _cmd_components,
     "perf": _cmd_perf,

@@ -16,7 +16,9 @@ import dataclasses
 import json
 from dataclasses import dataclass, field, fields
 from pathlib import Path
-from typing import Any, Dict, Mapping, Optional, Tuple, Type, TypeVar
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Type, TypeVar
+
+import numpy as np
 
 from repro.constants import SPIN_DEGENERACY
 
@@ -73,6 +75,17 @@ def _plain(value: Any) -> Any:
         return [_plain(v) for v in value]
     if isinstance(value, dict):
         return {k: _plain(v) for k, v in value.items()}
+    return value
+
+
+def _json_safe(value: Any) -> Any:
+    """Coerce numpy scalars/arrays to builtins so configs stay JSON-able."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
     return value
 
 
@@ -188,6 +201,133 @@ class PropagationConfig(_Section):
 
 
 @dataclass(frozen=True)
+class SweepConfig(_Section):
+    """Declarative multi-run sweep: config axes crossed into a grid.
+
+    ``axes`` maps dotted config paths to the list of values each run
+    takes, e.g. ``{"field.params.kick": [0.01, 0.02],
+    "propagation.propagator": ["ptim", "ptcn"]}``.  ``mode = "grid"``
+    (default) takes the cartesian product of all axes; ``"zip"`` pairs
+    them element-wise (all axes must then have equal length).
+
+    ``scheduler`` picks how :func:`repro.api.ensemble.run_ensemble`
+    executes the expanded runs: ``"serial"``, ``"thread"``, or
+    ``"process"``; the default ``"auto"`` selects ``"process"`` whenever
+    ``workers > 1``.  ``output`` is the default ``EnsembleResult`` npz
+    path used by ``repro sweep`` when ``--output`` is not given.
+    """
+
+    _context = "sweep"
+
+    axes: Dict[str, Any] = field(default_factory=dict)
+    mode: str = "grid"
+    scheduler: str = "auto"
+    workers: int = 1
+    output: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        _check(self.mode in ("grid", "zip"), f"sweep.mode must be 'grid' or 'zip', got {self.mode!r}")
+        _check(
+            self.scheduler in ("auto", "serial", "thread", "process"),
+            f"sweep.scheduler must be one of auto, serial, thread, process, got {self.scheduler!r}",
+        )
+        _check(self.workers >= 1, f"sweep.workers must be >= 1, got {self.workers}")
+        _check(isinstance(self.axes, Mapping), f"sweep.axes must be a table of path = [values], got {type(self.axes).__name__}")
+        axes: Dict[str, Tuple[Any, ...]] = {}
+        for path, values in self.axes.items():
+            _check(
+                isinstance(path, str) and "." in path,
+                f"sweep.axes key {path!r} must be a dotted config path like 'field.params.kick'",
+            )
+            if isinstance(values, np.ndarray):
+                values = values.tolist()
+            _check(
+                isinstance(values, (list, tuple)) and len(values) > 0,
+                f"sweep.axes.{path} must be a non-empty list of values, got {values!r}",
+            )
+            # numpy scalars (np.arange sweeps ...) are coerced to builtins
+            # here, or they would crash JSON serialization only after the
+            # expensive runs have already happened
+            axes[path] = tuple(_json_safe(v) for v in values)
+        if self.mode == "zip" and axes:
+            lengths = {len(v) for v in axes.values()}
+            _check(
+                len(lengths) == 1,
+                f"sweep.mode = 'zip' needs equal-length axes, got lengths "
+                f"{ {path: len(v) for path, v in axes.items()} }",
+            )
+        object.__setattr__(self, "axes", axes)
+
+    @property
+    def n_runs(self) -> int:
+        """How many simulations the sweep expands to."""
+        if not self.axes:
+            return 1
+        sizes = [len(v) for v in self.axes.values()]
+        if self.mode == "zip":
+            return sizes[0]
+        n = 1
+        for s in sizes:
+            n *= s
+        return n
+
+
+def check_config_matches(
+    found: "SimulationConfig",
+    expected: Optional["SimulationConfig"],
+    path,
+    kind: str,
+) -> None:
+    """Raise :class:`ConfigError` if ``found`` differs from ``expected``.
+
+    Shared by the result and checkpoint loaders (``expected = None``
+    skips the check); the message names the dotted keys on which the
+    file's embedded config disagrees with the expectation.
+    """
+    if expected is None or found == expected:
+        return
+    diff = found.diff(expected)
+    shown = "; ".join(diff[:6]) + (" ..." if len(diff) > 6 else "")
+    raise ConfigError(
+        f"{kind} file {path} was produced by a different config; "
+        f"mismatched key(s): {shown}"
+    )
+
+
+def load_sweep_file(path) -> Tuple["SimulationConfig", SweepConfig]:
+    """Read a ``.toml``/``.json`` sweep file: base sections + ``[sweep]``.
+
+    The file is an ordinary simulation config with one extra ``sweep``
+    section; returns ``(base_config, sweep_config)``.  A file without a
+    ``sweep`` section yields a single-run sweep (useful for smoke tests).
+    """
+    data = dict(_read_config_file(path))
+    sweep = SweepConfig.from_dict(data.pop("sweep", None))
+    return SimulationConfig.from_dict(data), sweep
+
+
+def _read_config_file(path) -> Dict[str, Any]:
+    """Parse a ``.toml``/``.json`` file into a plain dict (strict errors)."""
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".toml":
+        import tomllib
+
+        try:
+            return tomllib.loads(path.read_text())
+        except tomllib.TOMLDecodeError as exc:
+            raise ConfigError(f"invalid TOML in {path}: {exc}") from exc
+    if suffix == ".json":
+        try:
+            return json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"invalid JSON in {path}: {exc}") from exc
+    raise ConfigError(
+        f"unsupported config format {suffix!r} for {path}; use .toml or .json"
+    )
+
+
+@dataclass(frozen=True)
 class SimulationConfig:
     """One declarative run: system + scf + field + propagation.
 
@@ -235,25 +375,7 @@ class SimulationConfig:
     @classmethod
     def from_file(cls, path) -> "SimulationConfig":
         """Load from ``.toml`` (via :mod:`tomllib`) or ``.json``."""
-        path = Path(path)
-        suffix = path.suffix.lower()
-        if suffix == ".toml":
-            import tomllib
-
-            try:
-                data = tomllib.loads(path.read_text())
-            except tomllib.TOMLDecodeError as exc:
-                raise ConfigError(f"invalid TOML in {path}: {exc}") from exc
-        elif suffix == ".json":
-            try:
-                data = json.loads(path.read_text())
-            except json.JSONDecodeError as exc:
-                raise ConfigError(f"invalid JSON in {path}: {exc}") from exc
-        else:
-            raise ConfigError(
-                f"unsupported config format {suffix!r} for {path}; use .toml or .json"
-            )
-        return cls.from_dict(data)
+        return cls.from_dict(_read_config_file(path))
 
     @classmethod
     def from_json(cls, text: str) -> "SimulationConfig":
@@ -265,6 +387,29 @@ class SimulationConfig:
 
     def to_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    # -- comparison ---------------------------------------------------------
+    def diff(self, other: "SimulationConfig") -> List[str]:
+        """Dotted keys on which the two configs disagree (both sides listed).
+
+        Empty when the configs are equal; used by the result/checkpoint
+        loaders to explain *why* a file was rejected.
+        """
+        out: List[str] = []
+
+        def _walk(prefix: str, a: Any, b: Any) -> None:
+            if isinstance(a, dict) and isinstance(b, dict):
+                for key in sorted(set(a) | set(b)):
+                    _walk(
+                        f"{prefix}.{key}" if prefix else key,
+                        a.get(key, "<missing>"),
+                        b.get(key, "<missing>"),
+                    )
+            elif a != b:
+                out.append(f"{prefix} ({a!r} != {b!r})")
+
+        _walk("", self.to_dict(), other.to_dict())
+        return out
 
     # -- derivation ---------------------------------------------------------
     def replace(self, **sections) -> "SimulationConfig":

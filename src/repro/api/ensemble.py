@@ -1,0 +1,595 @@
+"""Ensemble sweep engine: one declarative config family, many runs.
+
+The paper's results are *families* of trajectories — field amplitudes
+(Fig. 7), propagator variants (Fig. 9), rank/node counts (Figs. 10-11) —
+so the facade gets a first-class multi-run layer:
+
+    base, sweep = load_sweep_file("sweep_absorption.toml")
+    result = run_ensemble(base, sweep, workers=2)
+    omega, strengths = result.dipole_spectra(kick=2e-3)
+    result.save_npz("ensemble.npz")
+
+:func:`expand_sweep` crosses the :class:`~repro.api.config.SweepConfig`
+axes into concrete :class:`~repro.api.config.SimulationConfig` variants;
+:func:`run_ensemble` executes them on a pluggable scheduler (serial,
+thread pool, or ``ProcessPoolExecutor``) while converging each distinct
+(system, scf) ground state exactly once and sharing it across variants
+(the in-memory analogue of :meth:`Simulation.derive`); and
+:class:`EnsembleResult` collects per-run observables, status and errors
+with ``save_npz``/``load_npz`` and spectrum aggregation built in.
+
+``repro sweep`` exposes the same engine on the command line.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import time
+import traceback
+from concurrent.futures import (
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.api.config import ConfigError, SimulationConfig, SweepConfig
+from repro.api.simulation import Simulation, SimulationResult
+from repro.observables.spectrum import absorption_spectrum
+from repro.scf.groundstate import GroundState
+
+#: schema version stamped into ensemble ``.npz`` files
+ENSEMBLE_VERSION = 1
+
+#: schedulers accepted by :func:`run_ensemble` (``auto`` resolves by workers)
+SCHEDULERS = ("serial", "thread", "process")
+
+
+# --------------------------------------------------------------------------
+# sweep expansion
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepVariant:
+    """One expanded grid point: its index, overrides, and full config."""
+
+    index: int
+    overrides: Dict[str, Any]
+    config: SimulationConfig
+
+    def label(self) -> str:
+        """Compact ``key=value`` string identifying the point (CLI tables)."""
+        if not self.overrides:
+            return "(base)"
+        return " ".join(f"{k.split('.')[-1]}={v!r}" for k, v in self.overrides.items())
+
+
+def apply_overrides(
+    config: SimulationConfig, overrides: Mapping[str, Any]
+) -> SimulationConfig:
+    """A new config with dotted-path ``overrides`` applied.
+
+    Paths address any config leaf, including free-form parameter dicts:
+    ``"propagation.propagator"``, ``"field.params.kick"``,
+    ``"propagation.options.density_tol"`` ...  Unknown section keys are
+    rejected by the strict section parsers with the dotted name.
+    """
+    data = config.to_dict()
+    for path, value in overrides.items():
+        parts = path.split(".")
+        if len(parts) < 2 or not all(parts):
+            raise ConfigError(
+                f"sweep axis {path!r} must be a dotted config path like "
+                f"'field.params.kick'"
+            )
+        node: Dict[str, Any] = data
+        for key in parts[:-1]:
+            node = node.setdefault(key, {})
+            if not isinstance(node, dict):
+                raise ConfigError(
+                    f"sweep axis {path!r} descends into non-table config key {key!r}"
+                )
+        node[parts[-1]] = value
+    return SimulationConfig.from_dict(data)
+
+
+def expand_sweep(base: SimulationConfig, sweep: SweepConfig) -> List[SweepVariant]:
+    """All grid points of ``sweep`` applied to ``base``, in axis order.
+
+    ``mode = "grid"`` crosses the axes (last axis fastest, like nested
+    loops in declaration order); ``mode = "zip"`` pairs them.  An empty
+    axes table yields the single base config.
+    """
+    paths = list(sweep.axes)
+    if not paths:
+        return [SweepVariant(0, {}, base)]
+    if sweep.mode == "zip":
+        combos: Sequence[Tuple[Any, ...]] = list(zip(*(sweep.axes[p] for p in paths)))
+    else:
+        combos = list(itertools.product(*(sweep.axes[p] for p in paths)))
+    variants = []
+    for i, values in enumerate(combos):
+        overrides = dict(zip(paths, values))
+        variants.append(SweepVariant(i, overrides, apply_overrides(base, overrides)))
+    return variants
+
+
+# --------------------------------------------------------------------------
+# per-run records and the ensemble result
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class RunRecord:
+    """Outcome of one ensemble member: observables or a captured error."""
+
+    index: int
+    overrides: Dict[str, Any]
+    config: SimulationConfig
+    status: str = "pending"  #: "ok" or "error"
+    error: Optional[str] = None
+    elapsed: float = 0.0
+    arrays: Dict[str, np.ndarray] = field(default_factory=dict)
+    #: full in-memory result (live runs only; not restored by load_npz)
+    result: Optional[SimulationResult] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def label(self) -> str:
+        return SweepVariant(self.index, self.overrides, self.config).label()
+
+
+class EnsembleResult:
+    """Everything one sweep produced: per-run records + aggregation.
+
+    Successful runs carry their observable arrays (``times``, ``dipole``,
+    ``energy``, ...); failed runs carry the formatted exception instead,
+    so one diverging variant never loses the rest of the grid.
+    """
+
+    def __init__(
+        self,
+        base_config: SimulationConfig,
+        sweep: SweepConfig,
+        runs: List[RunRecord],
+    ) -> None:
+        self.base_config = base_config
+        self.sweep = sweep
+        self.runs = runs
+
+    # -- bookkeeping --------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.runs)
+
+    def __iter__(self):
+        return iter(self.runs)
+
+    @property
+    def ok(self) -> List[RunRecord]:
+        """The successful runs, in grid order."""
+        return [r for r in self.runs if r.ok]
+
+    @property
+    def failures(self) -> List[RunRecord]:
+        """The failed runs (status ``"error"``), in grid order."""
+        return [r for r in self.runs if not r.ok]
+
+    def raise_on_failure(self) -> None:
+        """Raise a summary ``RuntimeError`` if any run failed."""
+        bad = self.failures
+        if bad:
+            detail = "; ".join(f"run {r.index} [{r.label()}]: {r.error}" for r in bad)
+            raise RuntimeError(f"{len(bad)}/{len(self.runs)} ensemble runs failed: {detail}")
+
+    # -- aggregation --------------------------------------------------------
+    def stacked(self, key: str) -> np.ndarray:
+        """Observable ``key`` of every successful run stacked on axis 0.
+
+        Requires at least one successful run and identical per-run shapes
+        (i.e. a sweep that does not change trajectory length).
+        """
+        good = self.ok
+        if not good:
+            raise ValueError(f"no successful runs to stack {key!r} from")
+        missing = [r.index for r in good if key not in r.arrays]
+        if missing:
+            raise KeyError(
+                f"observable {key!r} missing from run(s) {missing}; "
+                f"available: {', '.join(sorted(good[0].arrays))}"
+            )
+        shapes = {r.arrays[key].shape for r in good}
+        if len(shapes) > 1:
+            raise ValueError(
+                f"cannot stack {key!r}: runs disagree on shape ({sorted(shapes)}); "
+                f"use per-run access instead"
+            )
+        return np.stack([r.arrays[key] for r in good])
+
+    def dipole_spectra(
+        self,
+        kick: Optional[float] = None,
+        component: int = 0,
+        damping: float = 0.003,
+        pad_factor: int = 8,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Dipole strength function of every successful run.
+
+        Returns ``(omega, strengths)`` with ``strengths`` of shape
+        ``(n_ok, n_freq)``, via :func:`repro.observables.spectrum.
+        absorption_spectrum`.  ``kick`` defaults to each run's own
+        ``field.params["kick"]`` (the delta-kick setup of the absorption
+        studies); pass it explicitly for other field kinds.
+        """
+        good = self.ok
+        if not good:
+            raise ValueError("no successful runs to compute spectra from")
+        omega_ref: Optional[np.ndarray] = None
+        strengths = []
+        for run in good:
+            k = kick
+            if k is None:
+                k = run.config.field.params.get("kick")
+                if k is None:
+                    raise ValueError(
+                        f"run {run.index} has field kind "
+                        f"{run.config.field.kind!r} without a 'kick' param; "
+                        f"pass kick= explicitly"
+                    )
+            if float(k) == 0.0:
+                raise ValueError(
+                    f"run {run.index} [{run.label()}] has kick == 0 (a field-free "
+                    f"reference run); normalized spectra are undefined for it — "
+                    f"exclude such runs (compute per-run spectra from stacked "
+                    f"dipoles, as examples/field_amplitude_sweep.py does) or "
+                    f"pass a nonzero kick= explicitly"
+                )
+            omega, s = absorption_spectrum(
+                run.arrays["times"],
+                run.arrays["dipole"][:, component],
+                kick=float(k),
+                damping=damping,
+                pad_factor=pad_factor,
+            )
+            if omega_ref is None:
+                omega_ref = omega
+            elif omega.shape != omega_ref.shape or not np.allclose(omega, omega_ref):
+                raise ValueError(
+                    "runs disagree on the frequency grid (different trajectory "
+                    "lengths/steps); compute spectra per run instead"
+                )
+            strengths.append(s)
+        assert omega_ref is not None
+        return omega_ref, np.stack(strengths)
+
+    def mean_dipole_spectrum(self, **kwargs) -> Tuple[np.ndarray, np.ndarray]:
+        """``(omega, mean strength)`` averaged over the successful runs."""
+        omega, strengths = self.dipole_spectra(**kwargs)
+        return omega, strengths.mean(axis=0)
+
+    # -- reporting ----------------------------------------------------------
+    def summary(self) -> str:
+        """Per-run status table + one-line tally (the CLI output)."""
+        lines = [f"{'run':>4}  {'status':<6} {'t (s)':>7}  overrides"]
+        for r in self.runs:
+            note = f"  !! {r.error.splitlines()[-1]}" if r.error else ""
+            lines.append(f"{r.index:>4}  {r.status:<6} {r.elapsed:7.2f}  {r.label()}{note}")
+        n_ok = len(self.ok)
+        lines.append(f"{n_ok}/{len(self.runs)} runs ok")
+        return "\n".join(lines)
+
+    # -- persistence --------------------------------------------------------
+    def save_npz(self, path) -> Path:
+        """Persist the whole ensemble to one ``.npz``.
+
+        Layout: an ``ensemble_json`` metadata blob (base config, sweep,
+        per-run overrides/status/errors) plus ``run{i:04d}_{key}`` arrays
+        for every successful run's observables, dtype-preserving.
+        """
+        path = Path(path)
+        meta = {
+            "version": ENSEMBLE_VERSION,
+            "base_config": self.base_config.to_dict(),
+            "sweep": self.sweep.to_dict(),
+            "runs": [
+                {
+                    "index": r.index,
+                    "overrides": r.overrides,
+                    "config": r.config.to_dict(),
+                    "status": r.status,
+                    "error": r.error,
+                    "elapsed": r.elapsed,
+                }
+                for r in self.runs
+            ],
+        }
+        payload: Dict[str, Any] = {"ensemble_json": np.str_(json.dumps(meta, sort_keys=True))}
+        for r in self.runs:
+            for key, arr in r.arrays.items():
+                payload[f"run{r.index:04d}_{key}"] = np.asarray(arr)
+        np.savez(path, **payload)
+        return path
+
+    @classmethod
+    def load_npz(cls, path) -> "EnsembleResult":
+        """Rebuild an :class:`EnsembleResult` written by :meth:`save_npz`.
+
+        Restored runs carry configs, statuses, errors and observable
+        arrays; the in-memory ``result`` objects (final states) are not
+        part of the ensemble file.
+        """
+        path = Path(path)
+        with np.load(path, allow_pickle=False) as data:
+            if "ensemble_json" not in data:
+                raise ConfigError(
+                    f"{path} is not a repro ensemble file (missing ensemble_json)"
+                )
+            meta = json.loads(str(data["ensemble_json"]))
+            version = int(meta.get("version", 0))
+            if version > ENSEMBLE_VERSION:
+                raise ConfigError(
+                    f"ensemble file {path} has version {version}; "
+                    f"this build reads <= {ENSEMBLE_VERSION}"
+                )
+            runs = []
+            for entry in meta["runs"]:
+                index = int(entry["index"])
+                prefix = f"run{index:04d}_"
+                arrays = {
+                    name[len(prefix):]: np.array(data[name])
+                    for name in data.files
+                    if name.startswith(prefix)
+                }
+                runs.append(
+                    RunRecord(
+                        index=index,
+                        overrides=dict(entry["overrides"]),
+                        config=SimulationConfig.from_dict(entry["config"]),
+                        status=str(entry["status"]),
+                        error=entry.get("error"),
+                        elapsed=float(entry.get("elapsed", 0.0)),
+                        arrays=arrays,
+                    )
+                )
+        return cls(
+            base_config=SimulationConfig.from_dict(meta["base_config"]),
+            sweep=SweepConfig.from_dict(meta["sweep"]),
+            runs=runs,
+        )
+
+
+# --------------------------------------------------------------------------
+# execution
+# --------------------------------------------------------------------------
+
+
+def _gs_key(config: SimulationConfig) -> str:
+    """Variants sharing (system, scf) sections share one SCF solve.
+
+    Sections hold free-form parameter dicts and are not hashable, so the
+    grouping key is their canonical (sorted) JSON.
+    """
+    return json.dumps(
+        {"system": config.system.to_dict(), "scf": config.scf.to_dict()},
+        sort_keys=True,
+    )
+
+
+def _execute_sim(
+    sim: Simulation,
+) -> Tuple[Dict[str, np.ndarray], SimulationResult, float]:
+    """Run one prepared simulation (serial/thread worker body).
+
+    Times itself so pooled runs report true compute duration, not
+    queue wait + collection order."""
+    started = time.perf_counter()
+    result = sim.run()
+    return result.observables(), result, time.perf_counter() - started
+
+
+def _execute_variant_json(
+    config_json: str, ground_state: Optional[GroundState]
+) -> Tuple[Dict[str, np.ndarray], float]:
+    """Process-pool entry: configs travel as JSON, arrays come back."""
+    started = time.perf_counter()
+    sim = Simulation(
+        SimulationConfig.from_json(config_json), ground_state=ground_state
+    )
+    arrays = sim.run().observables()
+    return arrays, time.perf_counter() - started
+
+
+def _converge_json(config_json: str) -> GroundState:
+    """Pool entry for one group's SCF solve (config as JSON)."""
+    return Simulation(SimulationConfig.from_json(config_json)).ground_state()
+
+
+def _group_configs(variants: Sequence[SweepVariant]) -> Dict[str, SimulationConfig]:
+    """First-seen config per distinct (system, scf) group, in grid order."""
+    groups: Dict[str, SimulationConfig] = {}
+    for v in variants:
+        groups.setdefault(_gs_key(v.config), v.config)
+    return groups
+
+
+def _announce_group(
+    progress: Optional[Callable[[str], None]], number: int, config: SimulationConfig
+) -> None:
+    if progress is not None:
+        progress(
+            f"converging ground state {number} ({config.system.cell}, "
+            f"{config.system.functional}, ecut {config.system.ecut:g})"
+        )
+
+
+def _converge_shared_ground_states(
+    variants: Sequence[SweepVariant],
+    progress: Optional[Callable[[str], None]],
+) -> Dict[str, Any]:
+    """One prototype :class:`Simulation` (one SCF) per distinct
+    (system, scf) pair; every variant derives from its group's prototype,
+    sharing the converged ground state and cell/grid caches.
+
+    A group whose SCF raises maps to the exception instead of a
+    prototype — its variants are marked failed without aborting the
+    other groups."""
+    shared: Dict[str, Any] = {}
+    for i, (key, config) in enumerate(_group_configs(variants).items()):
+        _announce_group(progress, i + 1, config)
+        proto = Simulation(config)
+        try:
+            proto.ground_state()
+        except Exception as exc:  # noqa: BLE001 — reported per affected run
+            shared[key] = exc
+            continue
+        shared[key] = proto
+    return shared
+
+
+def _derive_from(proto: Simulation, config: SimulationConfig) -> Simulation:
+    """The variant simulation, cache-sharing with its group prototype."""
+    return proto.derive(
+        system=config.system,
+        scf=config.scf,
+        field=config.field,
+        propagation=config.propagation,
+    )
+
+
+def resolve_scheduler(scheduler: str, workers: int) -> str:
+    """Map ``"auto"`` to a concrete scheduler and validate the name."""
+    if scheduler == "auto":
+        return "process" if workers > 1 else "serial"
+    if scheduler not in SCHEDULERS:
+        raise ConfigError(
+            f"unknown scheduler {scheduler!r}; valid: auto, {', '.join(SCHEDULERS)}"
+        )
+    return scheduler
+
+
+def run_ensemble(
+    base: SimulationConfig,
+    sweep: SweepConfig,
+    workers: Optional[int] = None,
+    scheduler: Optional[str] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> EnsembleResult:
+    """Expand ``sweep`` over ``base`` and execute every grid point.
+
+    Parameters
+    ----------
+    base:
+        The common :class:`SimulationConfig` all variants derive from.
+    sweep:
+        Axes + execution policy; ``workers``/``scheduler`` arguments
+        override the corresponding config fields when given.
+    progress:
+        Optional callable receiving one human-readable line per event
+        (ground-state solves, run completions) — the CLI passes ``print``.
+
+    Ground states are converged once per distinct (system, scf) section
+    pair — serially in the parent for the serial scheduler, on the pool
+    for thread/process schedulers — and shared across the group's
+    variants: by reference on threads, by pickling per task on
+    processes.  That per-task pickling ships the orbital block to the
+    worker for every run; for very large systems with many variants per
+    group, ``scheduler="thread"`` avoids the copy entirely (BLAS/FFT
+    release the GIL).  Per-run failures (including a group's SCF
+    failing) are captured in the returned :class:`EnsembleResult` rather
+    than aborting the sweep.
+    """
+    n_workers = sweep.workers if workers is None else int(workers)
+    if n_workers < 1:
+        raise ConfigError(f"workers must be >= 1, got {n_workers}")
+    mode = resolve_scheduler(sweep.scheduler if scheduler is None else scheduler, n_workers)
+
+    variants = expand_sweep(base, sweep)
+    records = [RunRecord(v.index, v.overrides, v.config) for v in variants]
+
+    def _finish(record: RunRecord, elapsed: float, arrays=None, result=None, exc=None):
+        record.elapsed = elapsed
+        if exc is None:
+            record.status = "ok"
+            record.arrays = arrays
+            record.result = result
+        else:
+            record.status = "error"
+            record.error = "".join(
+                traceback.format_exception_only(type(exc), exc)
+            ).strip()
+        if progress is not None:
+            progress(
+                f"run {record.index} [{record.label()}]: {record.status} "
+                f"({record.elapsed:.2f} s)"
+            )
+
+    if mode == "serial":
+        shared = _converge_shared_ground_states(variants, progress)
+        for v, record in zip(variants, records):
+            started = time.perf_counter()
+            proto = shared[_gs_key(v.config)]
+            if isinstance(proto, Exception):
+                _finish(record, time.perf_counter() - started, exc=proto)
+                continue
+            try:
+                arrays, result, elapsed = _execute_sim(_derive_from(proto, v.config))
+            except Exception as exc:  # noqa: BLE001 — per-run isolation is the point
+                _finish(record, time.perf_counter() - started, exc=exc)
+            else:
+                _finish(record, elapsed, arrays=arrays, result=result)
+        return EnsembleResult(base_config=base, sweep=sweep, runs=records)
+
+    pool: Executor
+    if mode == "thread":
+        pool = ThreadPoolExecutor(max_workers=n_workers)
+    else:
+        pool = ProcessPoolExecutor(max_workers=n_workers)
+    with pool:
+        # group SCF solves run on the pool too — with several (system, scf)
+        # groups the dominant cost parallelizes, not just the propagations
+        groups = _group_configs(variants)
+        gs_futures = {}
+        for i, (key, config) in enumerate(groups.items()):
+            _announce_group(progress, i + 1, config)
+            gs_futures[key] = pool.submit(_converge_json, config.to_json())
+        shared: Dict[str, Any] = {}
+        for key, fut in gs_futures.items():
+            try:
+                shared[key] = Simulation(groups[key], ground_state=fut.result())
+            except Exception as exc:  # noqa: BLE001 — reported per affected run
+                shared[key] = exc
+
+        futures: Dict[Future, RunRecord] = {}
+        for v, record in zip(variants, records):
+            proto = shared[_gs_key(v.config)]
+            if isinstance(proto, Exception):
+                _finish(record, 0.0, exc=proto)
+                continue
+            if mode == "thread":
+                fut = pool.submit(_execute_sim, _derive_from(proto, v.config))
+            else:
+                fut = pool.submit(_execute_variant_json, v.config.to_json(), proto._gs)
+            futures[fut] = record
+        for fut in as_completed(futures):
+            record = futures[fut]
+            try:
+                out = fut.result()
+            except Exception as exc:  # noqa: BLE001
+                _finish(record, 0.0, exc=exc)
+            else:
+                if mode == "thread":
+                    arrays, result, elapsed = out
+                else:
+                    (arrays, elapsed), result = out, None
+                _finish(record, elapsed, arrays=arrays, result=result)
+
+    return EnsembleResult(base_config=base, sweep=sweep, runs=records)

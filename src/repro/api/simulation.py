@@ -24,7 +24,7 @@ from typing import Any, Dict, Mapping, Optional, Tuple, Union
 import numpy as np
 
 from repro.api.checkpoint import load_checkpoint, save_checkpoint
-from repro.api.config import ConfigError, SimulationConfig
+from repro.api.config import ConfigError, SimulationConfig, check_config_matches
 from repro.api.registry import CELLS, FIELDS, FUNCTIONALS, PROPAGATORS
 from repro.constants import AU_PER_ATTOSECOND
 from repro.grid.fftgrid import PlaneWaveGrid
@@ -33,6 +33,8 @@ from repro.rt.propagator import PropagationRecord, TDState
 from repro.scf.groundstate import GroundState, run_scf
 
 ConfigLike = Union[SimulationConfig, Mapping[str, Any]]
+
+RESULT_VERSION = 1
 
 
 @dataclass
@@ -54,9 +56,15 @@ class SimulationResult:
         return self.record.as_arrays()
 
     def save_npz(self, path) -> Path:
-        """Persist observables + final state + config to one ``.npz``."""
+        """Persist observables + final state + config to one ``.npz``.
+
+        Dtypes are preserved exactly (complex observables stay
+        complex128); :meth:`load_npz` round-trips the payload and can
+        enforce that the file belongs to an expected config.
+        """
         path = Path(path)
         payload: Dict[str, Any] = {
+            "result_version": np.int64(RESULT_VERSION),
             "config_json": np.str_(self.config.to_json()),
             "final_phi": np.asarray(self.final_state.phi, dtype=complex),
             "final_sigma": np.asarray(self.final_state.sigma, dtype=complex),
@@ -68,14 +76,29 @@ class SimulationResult:
         return path
 
     @staticmethod
-    def load_npz(path) -> Tuple[SimulationConfig, Dict[str, np.ndarray]]:
-        """Read back ``(config, arrays)`` from :meth:`save_npz` output."""
+    def load_npz(
+        path, expected_config: Optional[SimulationConfig] = None
+    ) -> Tuple[SimulationConfig, Dict[str, np.ndarray]]:
+        """Read back ``(config, arrays)`` from :meth:`save_npz` output.
+
+        ``expected_config`` (when given) must match the config embedded
+        in the file; a mismatch raises :class:`ConfigError` naming the
+        differing keys — guarding against stacking or comparing results
+        produced by a different setup.
+        """
         path = Path(path)
         with np.load(path, allow_pickle=False) as data:
             if "config_json" not in data:
                 raise ConfigError(f"{path} is not a repro result file (missing config_json)")
+            if "final_phi" not in data:
+                raise ConfigError(
+                    f"{path} is not a repro result file (no final state); "
+                    f"checkpoints are read by Simulation.resume / load_checkpoint"
+                )
             config = SimulationConfig.from_json(str(data["config_json"]))
-            arrays = {k: np.array(data[k]) for k in data.files if k != "config_json"}
+            check_config_matches(config, expected_config, path, "result")
+            skip = ("config_json", "result_version")
+            arrays = {k: np.array(data[k]) for k in data.files if k not in skip}
         return config, arrays
 
     def summary(self) -> str:

@@ -86,7 +86,9 @@ class PropagationRecord:
             "field": np.asarray(self.field_values),
         }
         for key, series in self.sigma_samples.items():
-            out[f"sigma_{key[0]}_{key[1]}"] = np.asarray(series)
+            # dtype pinned: an empty series would otherwise come out float64
+            # and break the complex round-trip through save_npz/load_npz
+            out[f"sigma_{key[0]}_{key[1]}"] = np.asarray(series, dtype=complex)
         return out
 
 

@@ -1,0 +1,111 @@
+"""Generate the golden-trajectory reference files in ``tests/golden/``.
+
+One tiny deterministic run per registered propagator: the LDA group
+(rk4, ptim, ptcn) shares one ground state, PT-IM-ACE runs on a small
+screened-hybrid ground state so the dense-Fock -> ACE path is locked in
+too.  Each ``.npz`` stores the exact config (JSON) plus the observable
+trajectories; ``tests/test_golden_trajectories.py`` re-propagates every
+config and asserts the dipole/energy/sigma series match to 1e-10, so a
+perf refactor can never silently change the numbers.
+
+Regenerate (only when a change *intentionally* alters trajectories)::
+
+    PYTHONPATH=src python tests/make_golden.py
+
+and commit the updated files together with the change that justifies
+them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: schema version stamped into every golden file
+GOLDEN_VERSION = 1
+
+#: trajectory keys compared against the golden files (tolerance 1e-10)
+COMPARED_KEYS = ("times", "dipole", "energy", "particle_number", "sigma_0_2", "sigma_3_3")
+
+_LDA_BASE = {
+    "system": {"cell": "silicon_cubic", "ecut": 2.0, "functional": "lda"},
+    "scf": {"nbands": 20, "temperature_k": 8000.0, "density_tol": 1e-6, "max_scf": 60},
+    "field": {"kind": "static_kick", "params": {"kick": 2e-3}},
+}
+
+_HSE_BASE = {
+    "system": {"cell": "silicon_cubic", "ecut": 2.0, "functional": "hse"},
+    "scf": {
+        "nbands": 20,
+        "temperature_k": 8000.0,
+        "density_tol": 1e-5,
+        "exchange_tol": 1e-5,
+        "max_scf": 30,
+        "max_outer": 12,
+    },
+    "field": {"kind": "static_kick", "params": {"kick": 2e-3}},
+}
+
+_TRACK = [[0, 2], [3, 3]]
+
+#: one full config per registered propagator (the goldens' source of truth)
+CONFIGS = {
+    "rk4": {
+        **_LDA_BASE,
+        "propagation": {"propagator": "rk4", "dt_as": 1.0, "n_steps": 4,
+                        "track_sigma": _TRACK},
+    },
+    "ptim": {
+        **_LDA_BASE,
+        "propagation": {"propagator": "ptim", "dt_as": 25.0, "n_steps": 3,
+                        "track_sigma": _TRACK, "options": {"density_tol": 1e-8}},
+    },
+    "ptcn": {
+        **_LDA_BASE,
+        "propagation": {"propagator": "ptcn", "dt_as": 25.0, "n_steps": 3,
+                        "track_sigma": _TRACK, "options": {"density_tol": 1e-8}},
+    },
+    "ptim_ace": {
+        **_HSE_BASE,
+        "propagation": {"propagator": "ptim_ace", "dt_as": 25.0, "n_steps": 2,
+                        "track_sigma": _TRACK,
+                        "options": {"density_tol": 1e-7, "exchange_tol": 1e-7}},
+    },
+}
+
+
+def golden_path(propagator: str) -> Path:
+    return GOLDEN_DIR / f"{propagator}.npz"
+
+
+def run_config(config: dict):
+    """Propagate one golden config; returns its observable arrays."""
+    from repro.api import Simulation
+
+    return Simulation(config).run().observables()
+
+
+def main() -> None:
+    from repro.api import SimulationConfig
+
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name, config in CONFIGS.items():
+        print(f"generating golden trajectory for {name} ...")
+        arrays = run_config(config)
+        payload = {
+            "golden_version": np.int64(GOLDEN_VERSION),
+            "config_json": np.str_(SimulationConfig.from_dict(config).to_json()),
+        }
+        for key in COMPARED_KEYS:
+            payload[key] = arrays[key]
+        path = golden_path(name)
+        np.savez_compressed(path, **payload)
+        print(f"  wrote {path} ({path.stat().st_size} bytes, "
+              f"{len(arrays['times'])} samples)")
+
+
+if __name__ == "__main__":
+    main()

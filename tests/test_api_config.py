@@ -216,3 +216,14 @@ def test_registry_bad_parameters_named():
 def test_propagator_options_validated():
     with pytest.raises(RegistryError, match="unknown option"):
         PROPAGATORS.build("ptim", None, {"densty_tol": 1e-6})
+
+
+def test_config_diff_names_dotted_keys():
+    from repro.api import SimulationConfig
+
+    a = SimulationConfig.from_dict({})
+    b = a.replace(system={"ecut": 2.0}, propagation={"n_steps": 99})
+    diff = a.diff(b)
+    assert any(d.startswith("propagation.n_steps") for d in diff)
+    assert any(d.startswith("system.ecut") for d in diff)
+    assert a.diff(a) == []

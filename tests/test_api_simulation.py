@@ -151,3 +151,70 @@ def test_checkpoint_rejects_non_checkpoint_npz(tmp_path):
     np.savez(path, a=np.zeros(3))
     with pytest.raises(ConfigError, match="not a repro checkpoint"):
         load_checkpoint(path)
+
+
+# ---------------- round-trip dtype + config-mismatch guards --------------------
+EXPECTED_DTYPES = {
+    "times": np.float64,
+    "dipole": np.float64,
+    "energy": np.float64,
+    "particle_number": np.float64,
+    "field": np.float64,
+    "sigma_0_2": np.complex128,
+    "final_phi": np.complex128,
+    "final_sigma": np.complex128,
+    "final_time": np.float64,
+}
+
+
+def test_result_round_trip_preserves_every_dtype(trajectory, tmp_path):
+    """Complex observables must come back complex — for every stored key."""
+    straight, _, _ = trajectory
+    _, arrays = SimulationResult.load_npz(straight.save_npz(tmp_path / "dt.npz"))
+    assert set(EXPECTED_DTYPES) == set(arrays)
+    for key, dtype in EXPECTED_DTYPES.items():
+        assert arrays[key].dtype == np.dtype(dtype), f"{key} lost its dtype"
+
+
+def test_empty_sigma_series_stays_complex():
+    """Regression: an empty tracked series must not decay to float64."""
+    from repro.rt.propagator import PropagationRecord
+
+    record = PropagationRecord(sigma_samples={(0, 1): []})
+    assert record.as_arrays()["sigma_0_1"].dtype == np.complex128
+
+
+def test_result_load_rejects_mismatched_config(trajectory, tmp_path):
+    straight, _, _ = trajectory
+    path = straight.save_npz(tmp_path / "mm.npz")
+    other = straight.config.replace(propagation={"n_steps": 77})
+    with pytest.raises(ConfigError, match=r"propagation\.n_steps"):
+        SimulationResult.load_npz(path, expected_config=other)
+    config, _ = SimulationResult.load_npz(path, expected_config=straight.config)
+    assert config == straight.config
+
+
+def test_checkpoint_load_rejects_mismatched_config(trajectory, tmp_path):
+    from repro.api import load_checkpoint
+
+    _, _, resumed_sim = trajectory
+    path = resumed_sim.save_checkpoint(tmp_path / "mm_ck.npz")
+    other = resumed_sim.config.replace(system={"ecut": 2.5})
+    with pytest.raises(ConfigError, match=r"system\.ecut"):
+        load_checkpoint(path, expected_config=other)
+    ck = load_checkpoint(path, expected_config=resumed_sim.config)
+    assert ck.config == resumed_sim.config
+    assert ck.state.phi.dtype == np.complex128
+    assert ck.ground_state.orbitals.dtype == np.complex128
+
+
+def test_loaders_reject_each_others_files(trajectory, tmp_path):
+    from repro.api import load_checkpoint
+
+    straight, _, resumed_sim = trajectory
+    result_path = straight.save_npz(tmp_path / "xf.npz")
+    ckpt_path = resumed_sim.save_checkpoint(tmp_path / "xf_ck.npz")
+    with pytest.raises(ConfigError, match="result file, not a checkpoint"):
+        load_checkpoint(result_path)
+    with pytest.raises(ConfigError, match="not a repro result file"):
+        SimulationResult.load_npz(ckpt_path)
