@@ -1,0 +1,122 @@
+"""FFT strategy micro-benchmark: band-by-band vs batched vs threaded.
+
+The paper's Sec. III-B(b) multi-batch cuFFT optimization, reproduced at
+the backend layer: the baseline is the seed engine's strategy (numpy
+backend, one transform call per band — what Alg. 2's per-pair loop
+does), against the planned batched transform of the best available
+backend (scipy: normalization folded into the transform, in-place via
+``out=a``, no per-call result allocation) and its threaded variant
+(``fft_workers = cpu count``; on single-core CI runners this leg
+degenerates to the batched one, and the JSON says so honestly).
+
+Emits ``BENCH_fft.json`` at the repo root — the start of the measured
+perf trajectory (numbers, not claims).  Two grid sizes; the paper-scale
+one is 64^3 with the paper's Fock batch of 16 pair densities.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.backend import HAVE_SCIPY, NumpyBackend, make_backend
+from repro.utils.rng import default_rng
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_fft.json"
+
+#: the paper's multi-batch size (fock_batch_size default)
+BATCH = 16
+
+GRIDS = ((48, 48, 48), (64, 64, 64))
+
+REPS = 5
+
+
+def _best_time(fn, reps: int = REPS) -> float:
+    """Best-of-N wall time in seconds (min is the standard noise filter)."""
+    fn()  # warm caches, plans, twiddle tables
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _measure(grid) -> dict:
+    rng = default_rng(7)
+    a = rng.standard_normal((BATCH,) + grid) + 1j * rng.standard_normal((BATCH,) + grid)
+
+    baseline = NumpyBackend()
+    reference = baseline.forward(a)
+
+    # band-by-band: the seed default strategy — one engine call per band
+    t_bandbyband = _best_time(lambda: baseline.forward_bandbyband(a))
+
+    # batched: best available planned backend, transforming the backend's
+    # cached scratch workspace in place (pair densities in the hot loop
+    # are temporaries; the scratch cache stands in for their reuse)
+    batched_name = "scipy" if HAVE_SCIPY else "numpy"
+    batched = make_backend(batched_name, count_ffts=False)
+    work = batched.scratch(a.shape)
+    np.copyto(work, a)
+    t_batched = _best_time(lambda: batched.forward(work, out=work))
+    # correctness of the measured leg, not just speed
+    np.copyto(work, a)
+    assert np.allclose(batched.forward(work, out=work), reference, atol=1e-12)
+
+    entry = {
+        "bandbyband_ms": t_bandbyband * 1e3,
+        "bandbyband_backend": "numpy",
+        "batched_ms": t_batched * 1e3,
+        "batched_backend": batched_name,
+        "speedup_batched": t_bandbyband / t_batched,
+    }
+
+    if HAVE_SCIPY:
+        workers = os.cpu_count() or 1
+        threaded = make_backend("scipy", fft_workers=workers, count_ffts=False)
+        t_threaded = _best_time(lambda: threaded.forward(work, out=work))
+        entry.update(
+            threaded_ms=t_threaded * 1e3,
+            threaded_workers=workers,
+            speedup_threaded=t_bandbyband / t_threaded,
+        )
+    return entry
+
+
+@pytest.fixture(scope="module")
+def bench_results():
+    results = {
+        "batch": BATCH,
+        "reps": REPS,
+        "cpu_count": os.cpu_count(),
+        "have_scipy": HAVE_SCIPY,
+        "grids": {"x".join(map(str, g)): _measure(g) for g in GRIDS},
+    }
+    BENCH_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    return results
+
+
+def test_bench_fft_json_written(bench_results):
+    data = json.loads(BENCH_PATH.read_text())
+    assert set(data["grids"]) == {"x".join(map(str, g)) for g in GRIDS}
+    for entry in data["grids"].values():
+        assert entry["bandbyband_ms"] > 0 and entry["batched_ms"] > 0
+
+
+def test_batched_beats_bandbyband_at_64(bench_results):
+    """The planned batched path must clearly beat the per-band baseline.
+
+    Target (and the value measured on the reference container) is >= 2x
+    at 64^3; the hard floor asserted here is kept below that so shared
+    CI runners with noisy neighbours don't flake the suite — the JSON
+    carries the honest measured number either way.
+    """
+    entry = bench_results["grids"]["64x64x64"]
+    assert entry["speedup_batched"] >= 1.2, entry

@@ -9,6 +9,8 @@ or on the command line: ``python -m repro run config.toml``.
 
 Low-level building blocks remain public:
 
+* :mod:`repro.backend` — pluggable numerics engines (numpy/scipy/counting
+  batched FFTs + allocation) behind every transform in the package;
 * :mod:`repro.grid` — cells and plane-wave grids;
 * :mod:`repro.hamiltonian` — the Kohn-Sham Hamiltonian with hybrid
   functionals (Fock exchange + ACE);
@@ -19,7 +21,7 @@ Low-level building blocks remain public:
   evaluation figures and tables.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Simulation",
@@ -29,6 +31,7 @@ __all__ = [
     "SCFConfig",
     "FieldConfig",
     "PropagationConfig",
+    "BackendConfig",
     "ConfigError",
     "register_cell",
     "register_functional",

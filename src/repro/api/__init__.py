@@ -11,6 +11,7 @@ for custom wiring.
 
 from repro.api.checkpoint import Checkpoint, load_checkpoint, save_checkpoint
 from repro.api.config import (
+    BackendConfig,
     ConfigError,
     FieldConfig,
     PropagationConfig,
@@ -47,6 +48,7 @@ __all__ = [
     "Checkpoint",
     "load_checkpoint",
     "save_checkpoint",
+    "BackendConfig",
     "ConfigError",
     "FieldConfig",
     "PropagationConfig",

@@ -46,6 +46,14 @@ def _build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run SCF + propagation from a config file")
     run.add_argument("config", help="path to a .toml or .json simulation config")
     run.add_argument("--steps", type=int, default=None, help="override propagation.n_steps")
+    run.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="override backend.name (numpy, scipy, ...)",
+    )
+    run.add_argument(
+        "--fft-workers", type=int, default=None, metavar="N",
+        help="override backend.fft_workers (threaded transforms on scipy)",
+    )
     run.add_argument("--output", default=None, metavar="NPZ", help="save observables + config")
     run.add_argument("--checkpoint", default=None, metavar="NPZ", help="save a restart checkpoint")
     run.add_argument("--quiet", action="store_true", help="suppress the observable table")
@@ -93,6 +101,11 @@ def _build_parser() -> argparse.ArgumentParser:
 def _finish(sim: Simulation, result, args) -> None:
     if not args.quiet:
         print(result.summary())
+        if result.fft is not None:
+            print(
+                f"FFTs: {result.fft.transforms} transforms in "
+                f"{result.fft.calls} calls ({sim.backend.describe()})"
+            )
     if args.output:
         path = result.save_npz(args.output)
         print(f"observables saved to {path}")
@@ -111,6 +124,13 @@ def _cmd_run(args) -> int:
             f"{args.config} defines a sweep of {sweep.n_runs} run(s); "
             f"execute it with: repro sweep {args.config}"
         )
+    overrides = {}
+    if args.backend is not None:
+        overrides["name"] = args.backend
+    if args.fft_workers is not None:
+        overrides["fft_workers"] = args.fft_workers
+    if overrides:
+        base = base.replace(backend=overrides)
     sim = Simulation(base)
     cfg = sim.config
     if not args.quiet:
@@ -188,6 +208,8 @@ def _cmd_validate(args) -> int:
 
     cfg, sweep = load_sweep_file(args.config)
 
+    from repro.backend import BackendError, available_backends
+
     def _check_registry_keys(vcfg) -> None:
         # surface registry typos at validate time, before any expensive build
         for registry, key in (
@@ -197,6 +219,11 @@ def _cmd_validate(args) -> int:
             (PROPAGATORS, vcfg.propagation.propagator),
         ):
             registry.get(key)
+        if vcfg.backend.name.strip().lower() not in available_backends():
+            raise BackendError(
+                f"unknown backend {vcfg.backend.name!r}; "
+                f"registered: {', '.join(available_backends())}"
+            )
 
     _check_registry_keys(cfg)
     # each axis value is validated independently (sum of axis lengths, not

@@ -201,6 +201,42 @@ class PropagationConfig(_Section):
 
 
 @dataclass(frozen=True)
+class BackendConfig(_Section):
+    """Numerics engine selection (see :mod:`repro.backend`).
+
+    ``name`` is a backend registry key (``numpy``, ``scipy``,
+    ``counting``, or anything registered via
+    :func:`repro.backend.register_backend`); ``fft_workers`` sets the
+    transform thread count on backends that thread (scipy); and
+    ``count_ffts`` keeps the :class:`~repro.backend.FFTCounters`
+    instrumentation on (the default — it is how perf results tie back to
+    the paper's analytic FFT tallies).  Names are validated against the
+    registry when the simulation builds its backend, not at parse time,
+    so configs can be written before a plugin backend registers itself.
+    """
+
+    _context = "backend"
+
+    name: str = "numpy"
+    fft_workers: int = 1
+    count_ffts: bool = True
+
+    def __post_init__(self) -> None:
+        _check(
+            isinstance(self.name, str) and self.name != "",
+            "backend.name must be a non-empty string",
+        )
+        _check(
+            isinstance(self.fft_workers, int) and self.fft_workers >= 1,
+            f"backend.fft_workers must be an integer >= 1, got {self.fft_workers!r}",
+        )
+        _check(
+            isinstance(self.count_ffts, bool),
+            f"backend.count_ffts must be a boolean, got {self.count_ffts!r}",
+        )
+
+
+@dataclass(frozen=True)
 class SweepConfig(_Section):
     """Declarative multi-run sweep: config axes crossed into a grid.
 
@@ -341,12 +377,14 @@ class SimulationConfig:
     scf: SCFConfig = dataclasses.field(default_factory=SCFConfig)
     field: FieldConfig = dataclasses.field(default_factory=FieldConfig)
     propagation: PropagationConfig = dataclasses.field(default_factory=PropagationConfig)
+    backend: BackendConfig = dataclasses.field(default_factory=BackendConfig)
 
     _SECTIONS = {
         "system": SystemConfig,
         "scf": SCFConfig,
         "field": FieldConfig,
         "propagation": PropagationConfig,
+        "backend": BackendConfig,
     }
 
     def __post_init__(self) -> None:

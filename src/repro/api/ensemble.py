@@ -42,6 +42,7 @@ import numpy as np
 
 from repro.api.config import ConfigError, SimulationConfig, SweepConfig
 from repro.api.simulation import Simulation, SimulationResult
+from repro.backend import FFTCounters
 from repro.observables.spectrum import absorption_spectrum
 from repro.scf.groundstate import GroundState
 
@@ -138,6 +139,13 @@ class RunRecord:
     error: Optional[str] = None
     elapsed: float = 0.0
     arrays: Dict[str, np.ndarray] = field(default_factory=dict)
+    #: this run's own *propagation* FFT tally — the shared group SCF runs
+    #: before any per-run snapshot and is attributed to no run.  None when
+    #: the variant's backend is uncounted, and None on the thread
+    #: scheduler, where concurrent runs share one counting engine and
+    #: overlapping snapshots would double-count (serial and process
+    #: tallies are exact).
+    fft: Optional[FFTCounters] = None
     #: full in-memory result (live runs only; not restored by load_npz)
     result: Optional[SimulationResult] = None
 
@@ -190,6 +198,24 @@ class EnsembleResult:
         if bad:
             detail = "; ".join(f"run {r.index} [{r.label()}]: {r.error}" for r in bad)
             raise RuntimeError(f"{len(bad)}/{len(self.runs)} ensemble runs failed: {detail}")
+
+    def fft_totals(self) -> Optional[FFTCounters]:
+        """Merged FFT tally over all runs that reported one (else ``None``).
+
+        This is the fix for the process-pool counter loss: each worker's
+        per-run snapshot travels back with its result and is summed here
+        instead of dying with the worker process.  Thread-scheduled runs
+        report no tally (see :attr:`RunRecord.fft`), so a thread sweep
+        yields ``None`` rather than a double-counted number.
+        """
+        total: Optional[FFTCounters] = None
+        for r in self.runs:
+            if r.fft is None:
+                continue
+            if total is None:
+                total = FFTCounters()
+            total.merge(r.fft)
+        return total
 
     # -- aggregation --------------------------------------------------------
     def stacked(self, key: str) -> np.ndarray:
@@ -279,12 +305,21 @@ class EnsembleResult:
     # -- reporting ----------------------------------------------------------
     def summary(self) -> str:
         """Per-run status table + one-line tally (the CLI output)."""
-        lines = [f"{'run':>4}  {'status':<6} {'t (s)':>7}  overrides"]
+        lines = [f"{'run':>4}  {'status':<6} {'t (s)':>7} {'ffts':>9}  overrides"]
         for r in self.runs:
             note = f"  !! {r.error.splitlines()[-1]}" if r.error else ""
-            lines.append(f"{r.index:>4}  {r.status:<6} {r.elapsed:7.2f}  {r.label()}{note}")
+            ffts = f"{r.fft.transforms}" if r.fft is not None else "-"
+            lines.append(
+                f"{r.index:>4}  {r.status:<6} {r.elapsed:7.2f} {ffts:>9}  {r.label()}{note}"
+            )
         n_ok = len(self.ok)
-        lines.append(f"{n_ok}/{len(self.runs)} runs ok")
+        tally = f"{n_ok}/{len(self.runs)} runs ok"
+        total = self.fft_totals()
+        if total is not None:
+            tally += (
+                f" | FFTs: {total.transforms} transforms in {total.calls} calls"
+            )
+        lines.append(tally)
         return "\n".join(lines)
 
     # -- persistence --------------------------------------------------------
@@ -308,6 +343,7 @@ class EnsembleResult:
                     "status": r.status,
                     "error": r.error,
                     "elapsed": r.elapsed,
+                    "fft": r.fft.to_dict() if r.fft is not None else None,
                 }
                 for r in self.runs
             ],
@@ -349,6 +385,7 @@ class EnsembleResult:
                     for name in data.files
                     if name.startswith(prefix)
                 }
+                fft_meta = entry.get("fft")
                 runs.append(
                     RunRecord(
                         index=index,
@@ -358,6 +395,7 @@ class EnsembleResult:
                         error=entry.get("error"),
                         elapsed=float(entry.get("elapsed", 0.0)),
                         arrays=arrays,
+                        fft=FFTCounters.from_dict(fft_meta) if fft_meta else None,
                     )
                 )
         return cls(
@@ -373,39 +411,63 @@ class EnsembleResult:
 
 
 def _gs_key(config: SimulationConfig) -> str:
-    """Variants sharing (system, scf) sections share one SCF solve.
+    """Variants sharing (system, scf, backend-engine) share one SCF solve.
 
     Sections hold free-form parameter dicts and are not hashable, so the
-    grouping key is their canonical (sorted) JSON.
+    grouping key is their canonical (sorted) JSON.  The backend *name* is
+    part of the key so a backend-override axis converges each engine from
+    scratch — full-stack parity, no engine state crossing variant
+    boundaries.  Tuning knobs of the same engine (``fft_workers``,
+    ``count_ffts``) are deliberately excluded: the converged ground state
+    is plain arrays, and re-solving an identical SCF per thread-count
+    would dominate a threading sweep.
     """
     return json.dumps(
-        {"system": config.system.to_dict(), "scf": config.scf.to_dict()},
+        {
+            "system": config.system.to_dict(),
+            "scf": config.scf.to_dict(),
+            "backend": config.backend.name,
+        },
         sort_keys=True,
     )
 
 
 def _execute_sim(
-    sim: Simulation,
-) -> Tuple[Dict[str, np.ndarray], SimulationResult, float]:
+    sim: Simulation, with_fft: bool = True
+) -> Tuple[Dict[str, np.ndarray], Optional[FFTCounters], SimulationResult, float]:
     """Run one prepared simulation (serial/thread worker body).
 
-    Times itself so pooled runs report true compute duration, not
-    queue wait + collection order."""
+    Times itself so pooled runs report true compute duration, not queue
+    wait + collection order, and (``with_fft``) snapshots the backend's
+    FFT counters around the run so each record carries its own tally.
+    The thread scheduler passes ``with_fft=False``: its runs share one
+    counting engine concurrently, so overlapping snapshot windows would
+    credit the same transforms to several runs.
+    """
     started = time.perf_counter()
+    counters = sim.backend.counters if with_fft else None
+    before = counters.snapshot() if counters is not None else None
     result = sim.run()
-    return result.observables(), result, time.perf_counter() - started
+    fft = counters.since(before) if counters is not None else None
+    return result.observables(), fft, result, time.perf_counter() - started
 
 
 def _execute_variant_json(
     config_json: str, ground_state: Optional[GroundState]
-) -> Tuple[Dict[str, np.ndarray], float]:
-    """Process-pool entry: configs travel as JSON, arrays come back."""
+) -> Tuple[Dict[str, np.ndarray], Optional[FFTCounters], float]:
+    """Process-pool entry: configs travel as JSON, arrays come back.
+
+    The FFT tally is snapshotted *in the worker* and pickled back with
+    the observables — previously it was recorded into the worker's
+    process-global engine and discarded with the process.
+    """
     started = time.perf_counter()
     sim = Simulation(
         SimulationConfig.from_json(config_json), ground_state=ground_state
     )
     arrays = sim.run().observables()
-    return arrays, time.perf_counter() - started
+    fft = sim.fft_counters()
+    return arrays, fft, time.perf_counter() - started
 
 
 def _converge_json(config_json: str) -> GroundState:
@@ -462,6 +524,7 @@ def _derive_from(proto: Simulation, config: SimulationConfig) -> Simulation:
         scf=config.scf,
         field=config.field,
         propagation=config.propagation,
+        backend=config.backend,
     )
 
 
@@ -515,11 +578,14 @@ def run_ensemble(
     variants = expand_sweep(base, sweep)
     records = [RunRecord(v.index, v.overrides, v.config) for v in variants]
 
-    def _finish(record: RunRecord, elapsed: float, arrays=None, result=None, exc=None):
+    def _finish(
+        record: RunRecord, elapsed: float, arrays=None, fft=None, result=None, exc=None
+    ):
         record.elapsed = elapsed
         if exc is None:
             record.status = "ok"
             record.arrays = arrays
+            record.fft = fft
             record.result = result
         else:
             record.status = "error"
@@ -541,11 +607,11 @@ def run_ensemble(
                 _finish(record, time.perf_counter() - started, exc=proto)
                 continue
             try:
-                arrays, result, elapsed = _execute_sim(_derive_from(proto, v.config))
+                arrays, fft, result, elapsed = _execute_sim(_derive_from(proto, v.config))
             except Exception as exc:  # noqa: BLE001 — per-run isolation is the point
                 _finish(record, time.perf_counter() - started, exc=exc)
             else:
-                _finish(record, elapsed, arrays=arrays, result=result)
+                _finish(record, elapsed, arrays=arrays, fft=fft, result=result)
         return EnsembleResult(base_config=base, sweep=sweep, runs=records)
 
     pool: Executor
@@ -575,7 +641,9 @@ def run_ensemble(
                 _finish(record, 0.0, exc=proto)
                 continue
             if mode == "thread":
-                fut = pool.submit(_execute_sim, _derive_from(proto, v.config))
+                fut = pool.submit(
+                    _execute_sim, _derive_from(proto, v.config), False
+                )
             else:
                 fut = pool.submit(_execute_variant_json, v.config.to_json(), proto._gs)
             futures[fut] = record
@@ -587,9 +655,9 @@ def run_ensemble(
                 _finish(record, 0.0, exc=exc)
             else:
                 if mode == "thread":
-                    arrays, result, elapsed = out
+                    arrays, fft, result, elapsed = out
                 else:
-                    (arrays, elapsed), result = out, None
-                _finish(record, elapsed, arrays=arrays, result=result)
+                    (arrays, fft, elapsed), result = out, None
+                _finish(record, elapsed, arrays=arrays, fft=fft, result=result)
 
     return EnsembleResult(base_config=base, sweep=sweep, runs=records)

@@ -26,6 +26,7 @@ import numpy as np
 from repro.api.checkpoint import load_checkpoint, save_checkpoint
 from repro.api.config import ConfigError, SimulationConfig, check_config_matches
 from repro.api.registry import CELLS, FIELDS, FUNCTIONALS, PROPAGATORS
+from repro.backend import Backend, FFTCounters, make_backend
 from repro.constants import AU_PER_ATTOSECOND
 from repro.grid.fftgrid import PlaneWaveGrid
 from repro.hamiltonian.hamiltonian import Hamiltonian
@@ -50,6 +51,10 @@ class SimulationResult:
     record: PropagationRecord
     final_state: TDState
     ground_state: Optional[GroundState] = None
+    #: FFT tally of the propagate() call that produced this result,
+    #: including a lazily-triggered SCF (None when the backend is
+    #: uncounted); in-memory only — not persisted by save_npz
+    fft: Optional[FFTCounters] = None
 
     def observables(self) -> Dict[str, np.ndarray]:
         """The recorded series as plain arrays (keys: times, dipole, ...)."""
@@ -149,6 +154,7 @@ class Simulation:
                 f"config must be a SimulationConfig or mapping, got {type(config).__name__}"
             )
         self._cell = None
+        self._backend: Optional[Backend] = None
         self._grid: Optional[PlaneWaveGrid] = None
         self._field = None
         self._ham: Optional[Hamiltonian] = None
@@ -190,8 +196,14 @@ class Simulation:
             new._field = self._field
         if new.config.system == self.config.system:
             new._cell = self._cell
-            new._grid = self._grid
+            # the grid owns the numerics engine, so sharing it also
+            # requires an identical [backend] section
+            if new.config.backend == self.config.backend:
+                new._backend = self._backend
+                new._grid = self._grid
             if new.config.scf == self.config.scf:
+                # the converged ground state is plain arrays — valid on
+                # any backend (engines agree to strict round-off)
                 new._gs = self._gs
         return new
 
@@ -204,11 +216,28 @@ class Simulation:
         return self._cell
 
     @property
+    def backend(self) -> Backend:
+        """The numerics engine built from the ``[backend]`` config section."""
+        if self._backend is None:
+            cfg = self.config.backend
+            self._backend = make_backend(
+                cfg.name, fft_workers=cfg.fft_workers, count_ffts=cfg.count_ffts
+            )
+        return self._backend
+
+    @property
     def grid(self) -> PlaneWaveGrid:
         if self._grid is None:
             sys = self.config.system
-            self._grid = PlaneWaveGrid(self.cell, ecut=sys.ecut, dual=sys.dual)
+            self._grid = PlaneWaveGrid(
+                self.cell, ecut=sys.ecut, dual=sys.dual, backend=self.backend
+            )
         return self._grid
+
+    def fft_counters(self) -> Optional[FFTCounters]:
+        """Cumulative FFT tally of this simulation's backend (or ``None``)."""
+        counters = self.backend.counters
+        return counters.snapshot() if counters is not None else None
 
     @property
     def functional(self):
@@ -286,6 +315,8 @@ class Simulation:
             raise ConfigError(f"dt_as must be positive, got {dt_as}")
 
         propagator = self.build_propagator()
+        counters = self.backend.counters
+        before = counters.snapshot() if counters is not None else None
         final = propagator.propagate(
             self.state,
             dt=dt_as * AU_PER_ATTOSECOND,
@@ -298,6 +329,7 @@ class Simulation:
             record=propagator.record,
             final_state=final,
             ground_state=self._gs,
+            fft=counters.since(before) if counters is not None else None,
         )
 
     def run(self) -> SimulationResult:

@@ -1,4 +1,4 @@
-"""Counting, batched FFT engine (the simulator's cuFFT/FFTW stand-in)."""
+"""Deprecated alias package: the engine moved to :mod:`repro.backend`."""
 
 from repro.fft.backend import FFTEngine, FFTCounters, global_engine
 

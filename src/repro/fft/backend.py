@@ -1,141 +1,55 @@
-"""Instrumented FFT backend.
+"""Deprecated shim over :mod:`repro.backend` (the old engine module).
 
-PWDFT's hot loop is FFTs: the paper counts Fock-exchange cost directly in
-"number of FFTs" (N^3 for the mixed-state baseline, N^2 after occupation
-diagonalization).  To let tests verify the analytic counts in
-:mod:`repro.perf.counts` against the real numerics, every transform in the
-package goes through an :class:`FFTEngine`, which
+The process-global instrumented engine that used to live here was
+replaced by the pluggable backend API: see :mod:`repro.backend` for
+:class:`~repro.backend.Backend`, the ``numpy``/``scipy``/``counting``
+implementations, and :func:`~repro.backend.make_backend`.  This module
+keeps the seed names importable:
 
-* tallies the number of 3-D transforms and the grid sizes transformed;
-* offers *batched* transforms over a leading axis — the numpy analogue of
-  the paper's multi-batch cuFFT optimization (Sec. III-B(b)), which is
-  measurably faster than a Python loop band-by-band.
+* :class:`FFTCounters` — same class, re-exported;
+* :class:`FFTEngine` — now an alias for a counting numpy backend
+  (identical numerics and counter semantics);
+* :func:`global_engine` — deprecated; components take an explicit
+  backend instance now (each :class:`~repro.grid.fftgrid.PlaneWaveGrid`
+  owns one), so nothing in the package shares process-global counters
+  anymore.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Tuple
+import warnings
+from typing import Optional
 
-import numpy as np
+from repro.backend import CountingBackend, FFTCounters, NumpyBackend
 
-
-@dataclass
-class FFTCounters:
-    """Tally of 3-D FFT invocations.
-
-    ``transforms`` counts individual 3-D transforms (a batch of ``B``
-    counts ``B``); ``calls`` counts backend invocations (a batch counts 1),
-    so the band-by-band vs multi-batch strategies are distinguishable.
-    """
-
-    transforms: int = 0
-    calls: int = 0
-    points: int = 0
-    by_shape: Dict[Tuple[int, int, int], int] = field(default_factory=dict)
-
-    def record(self, shape: Tuple[int, int, int], batch: int) -> None:
-        self.transforms += batch
-        self.calls += 1
-        self.points += batch * int(np.prod(shape))
-        self.by_shape[shape] = self.by_shape.get(shape, 0) + batch
-
-    def reset(self) -> None:
-        self.transforms = 0
-        self.calls = 0
-        self.points = 0
-        self.by_shape.clear()
-
-    def snapshot(self) -> "FFTCounters":
-        out = FFTCounters(self.transforms, self.calls, self.points)
-        out.by_shape = dict(self.by_shape)
-        return out
-
-    def since(self, earlier: "FFTCounters") -> "FFTCounters":
-        """Difference between this tally and an earlier snapshot."""
-        out = FFTCounters(
-            self.transforms - earlier.transforms,
-            self.calls - earlier.calls,
-            self.points - earlier.points,
-        )
-        out.by_shape = {
-            k: self.by_shape.get(k, 0) - earlier.by_shape.get(k, 0)
-            for k in set(self.by_shape) | set(earlier.by_shape)
-            if self.by_shape.get(k, 0) != earlier.by_shape.get(k, 0)
-        }
-        return out
+__all__ = ["FFTEngine", "FFTCounters", "global_engine"]
 
 
-class FFTEngine:
-    """Batched complex 3-D FFTs with operation counting.
-
-    All methods accept arrays whose *last three* axes are the grid; any
-    leading axes form the batch.  Transforms use numpy's norm="ortho"-free
-    convention: ``forward`` is ``fftn`` scaled by ``1/Ngrid`` so that
-    plane-wave coefficients are directly the discrete Fourier amplitudes
-    (PWDFT convention), and ``backward`` is the unscaled ``ifftn * Ngrid``.
-    ``backward(forward(x)) == x`` holds to machine precision.
-    """
+class FFTEngine(CountingBackend):
+    """Deprecated alias: a counting numpy backend (the seed engine)."""
 
     def __init__(self) -> None:
-        self.counters = FFTCounters()
-
-    # -- internals ----------------------------------------------------------
-    @staticmethod
-    def _split(a: np.ndarray) -> Tuple[Tuple[int, ...], Tuple[int, int, int]]:
-        if a.ndim < 3:
-            raise ValueError(f"FFT input must have >= 3 dims, got shape {a.shape}")
-        return a.shape[:-3], a.shape[-3:]
-
-    def _record(self, a: np.ndarray) -> None:
-        batch_shape, grid = self._split(a)
-        batch = int(np.prod(batch_shape)) if batch_shape else 1
-        self.counters.record(grid, batch)
-
-    # -- public API ---------------------------------------------------------
-    def forward(self, a: np.ndarray) -> np.ndarray:
-        """Real space -> reciprocal space (normalized by 1/Ngrid)."""
-        self._record(a)
-        grid = a.shape[-3:]
-        scale = 1.0 / float(np.prod(grid))
-        return np.fft.fftn(a, axes=(-3, -2, -1)) * scale
-
-    def backward(self, a: np.ndarray) -> np.ndarray:
-        """Reciprocal space -> real space (inverse of :meth:`forward`)."""
-        self._record(a)
-        grid = a.shape[-3:]
-        return np.fft.ifftn(a, axes=(-3, -2, -1)) * float(np.prod(grid))
-
-    def forward_bandbyband(self, a: np.ndarray) -> np.ndarray:
-        """Loop over the batch one band at a time (baseline strategy).
-
-        Numerically identical to :meth:`forward`; exists so the Fig. 9
-        micro-benchmarks can time band-by-band vs multi-batch honestly.
-        """
-        batch_shape, _ = self._split(a)
-        if not batch_shape:
-            return self.forward(a)
-        flat = a.reshape((-1,) + a.shape[-3:])
-        out = np.empty_like(flat)
-        for b in range(flat.shape[0]):
-            out[b] = self.forward(flat[b])
-        return out.reshape(a.shape)
-
-    def backward_bandbyband(self, a: np.ndarray) -> np.ndarray:
-        """Band-by-band inverse transform (see :meth:`forward_bandbyband`)."""
-        batch_shape, _ = self._split(a)
-        if not batch_shape:
-            return self.backward(a)
-        flat = a.reshape((-1,) + a.shape[-3:])
-        out = np.empty_like(flat)
-        for b in range(flat.shape[0]):
-            out[b] = self.backward(flat[b])
-        return out.reshape(a.shape)
+        super().__init__(NumpyBackend())
 
 
-_GLOBAL_ENGINE = FFTEngine()
+_GLOBAL_ENGINE: Optional[FFTEngine] = None
 
 
 def global_engine() -> FFTEngine:
-    """Process-wide engine used by default throughout the package."""
+    """Deprecated process-wide engine; kept only for external callers.
+
+    Nothing inside the package uses it: grids own their backend
+    (``grid.backend``), simulations build theirs from the ``[backend]``
+    config section.  The returned engine's counters see no package
+    traffic.
+    """
+    warnings.warn(
+        "global_engine() is deprecated; construct a backend explicitly with "
+        "repro.backend.make_backend(...) and pass it to PlaneWaveGrid/Simulation",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    global _GLOBAL_ENGINE
+    if _GLOBAL_ENGINE is None:
+        _GLOBAL_ENGINE = FFTEngine()
     return _GLOBAL_ENGINE

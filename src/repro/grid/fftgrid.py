@@ -22,7 +22,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.fft.backend import FFTEngine, global_engine
+from repro.backend import Backend, resolve_backend
 from repro.grid.cell import UnitCell
 from repro.grid.gvectors import GVectors, minimal_fft_shape
 from repro.utils.validation import require
@@ -42,15 +42,18 @@ class PlaneWaveGrid:
         Wavefunction FFT grid; computed from ``ecut`` if omitted.
     dual:
         Density grid refinement per dimension (paper uses 2).
-    engine:
-        FFT engine (defaults to the process-wide counting engine).
+    backend:
+        Numerics engine — a :class:`repro.backend.Backend` instance or a
+        registry name (``"numpy"``, ``"scipy"``, ...).  Defaults to a
+        *fresh* counting numpy backend owned by this grid, so FFT
+        tallies are per-grid instead of process-global.
     """
 
     cell: UnitCell
     ecut: float
     shape: Optional[Tuple[int, int, int]] = None
     dual: int = 1
-    engine: Optional[FFTEngine] = None
+    backend: Optional[Backend] = None
 
     def __post_init__(self) -> None:
         require(self.ecut > 0.0, "ecut must be positive")
@@ -58,14 +61,18 @@ class PlaneWaveGrid:
         if self.shape is None:
             self.shape = minimal_fft_shape(self.cell, self.ecut, factor=1.0)
         self.shape = tuple(int(n) for n in self.shape)
-        if self.engine is None:
-            self.engine = global_engine()
+        self.backend = resolve_backend(self.backend)
         self.gvec = GVectors(self.cell, self.shape, self.ecut)
         dshape = tuple(self.dual * n for n in self.shape)
         # density-grid G vectors: cutoff 4*ecut resolves all |phi|^2 products
         self.gvec_dense = (
             self.gvec if self.dual == 1 else GVectors(self.cell, dshape, 4.0 * self.ecut)
         )
+
+    @property
+    def engine(self) -> Backend:
+        """Deprecated alias for :attr:`backend` (pre-backend-API name)."""
+        return self.backend
 
     # -- sizes ---------------------------------------------------------------
     @property
@@ -101,16 +108,41 @@ class PlaneWaveGrid:
         return box.reshape(box.shape[:-3] + (self.ngrid,))
 
     # -- transforms -----------------------------------------------------------
-    def r_to_g(self, fr: np.ndarray, *, bandbyband: bool = False) -> np.ndarray:
-        """Real space ``(..., ngrid)`` -> G space ``(..., ngrid)`` (flat)."""
+    @staticmethod
+    def _inplace_out(box: np.ndarray) -> Optional[np.ndarray]:
+        """The box itself when it can legally receive its own transform."""
+        if box.dtype == np.complex128 and box.flags.writeable:
+            return box
+        return None
+
+    def r_to_g(
+        self, fr: np.ndarray, *, bandbyband: bool = False, consume: bool = False
+    ) -> np.ndarray:
+        """Real space ``(..., ngrid)`` -> G space ``(..., ngrid)`` (flat).
+
+        ``consume=True`` declares ``fr`` a temporary the caller no longer
+        needs: the backend may transform it in place (the multi-batch
+        fast path — pair densities in the Fock operator are all
+        temporaries).  Values are identical either way.
+        """
         box = self.to_box(np.asarray(fr))
-        fg = self.engine.forward_bandbyband(box) if bandbyband else self.engine.forward(box)
+        out = self._inplace_out(box) if consume else None
+        if bandbyband:
+            fg = self.backend.forward_bandbyband(box, out=out)
+        else:
+            fg = self.backend.forward(box, out=out)
         return self.to_flat(fg)
 
-    def g_to_r(self, fg: np.ndarray, *, bandbyband: bool = False) -> np.ndarray:
+    def g_to_r(
+        self, fg: np.ndarray, *, bandbyband: bool = False, consume: bool = False
+    ) -> np.ndarray:
         """G space -> real space (inverse of :meth:`r_to_g`)."""
         box = self.to_box(np.asarray(fg))
-        fr = self.engine.backward_bandbyband(box) if bandbyband else self.engine.backward(box)
+        out = self._inplace_out(box) if consume else None
+        if bandbyband:
+            fr = self.backend.backward_bandbyband(box, out=out)
+        else:
+            fr = self.backend.backward(box, out=out)
         return self.to_flat(fr)
 
     def apply_cutoff(self, fg_flat: np.ndarray) -> np.ndarray:
@@ -157,9 +189,9 @@ class PlaneWaveGrid:
         if self.dual == 1:
             return np.asarray(fr).copy()
         box = self.to_box(np.asarray(fr))
-        fg = self.engine.forward(box)
+        fg = self.backend.forward(box)
         out = _pad_spectrum(fg, self.gvec_dense.shape)
-        dense = self.engine.backward(out)
+        dense = self.backend.backward(out)
         return dense.reshape(dense.shape[:-3] + (self.ngrid_dense,))
 
     def restrict_from_dense(self, fr_dense: np.ndarray) -> np.ndarray:
@@ -167,9 +199,9 @@ class PlaneWaveGrid:
         if self.dual == 1:
             return np.asarray(fr_dense).copy()
         box = fr_dense.reshape(fr_dense.shape[:-1] + self.gvec_dense.shape)
-        fg = self.engine.forward(box)
+        fg = self.backend.forward(box)
         out = _crop_spectrum(fg, self.shape)
-        coarse = self.engine.backward(out)
+        coarse = self.backend.backward(out)
         return self.to_flat(coarse)
 
 

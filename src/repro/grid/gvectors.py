@@ -20,8 +20,15 @@ from repro.utils.validation import require
 
 
 def _fft_frequencies(n: int) -> np.ndarray:
-    """Integer FFT frequencies in numpy ordering: 0,1,...,-2,-1."""
-    return np.fft.fftfreq(n, d=1.0 / n).astype(int)
+    """Integer FFT frequencies in numpy ordering: 0,1,...,-2,-1.
+
+    Pure index arithmetic (identical to numpy's ``fftfreq(n, 1/n)``): the
+    G-vector setup is not a transform, so it must not touch an FFT
+    library — backend tallies stay exactly the hot-path 3-D transforms.
+    """
+    m = np.arange(n, dtype=int)
+    m[m > (n - 1) // 2] -= n
+    return m
 
 
 @dataclass(frozen=True)

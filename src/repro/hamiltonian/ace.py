@@ -37,6 +37,7 @@ class ACEOperator:
     def __init__(self, grid: PlaneWaveGrid, xi: np.ndarray) -> None:
         require(xi.ndim == 2 and xi.shape[1] == grid.ngrid, "xi must be (rank, ngrid)")
         self.grid = grid
+        self.backend = grid.backend
         #: compressed exchange vectors, rows on the real-space grid
         self.xi = xi
 
@@ -84,7 +85,7 @@ class ACEOperator:
         Two GEMMs of size ``rank x ngrid`` — the inner-SCF fast path.
         """
         if self.rank == 0:
-            return np.zeros_like(psi)
+            return self.backend.zeros_like(psi)
         amps = (self.xi.conj() @ psi.T) * self.grid.dv  # (rank, nb)
         return -(amps.T @ self.xi)
 

@@ -53,15 +53,21 @@ class FockExchangeOperator:
     def __init__(self, grid: PlaneWaveGrid, kernel_g: np.ndarray, batch_size: int = 16) -> None:
         require(kernel_g.shape == (grid.ngrid,), "kernel must be flat over the grid")
         self.grid = grid
+        self.backend = grid.backend
         self.kernel_g = np.asarray(kernel_g, dtype=float)
         self.batch_size = int(batch_size)
 
     # -- pair-density convolution (the Poisson-like solves) -------------------
     def _pair_potential(self, pair_density: np.ndarray, bandbyband: bool = False) -> np.ndarray:
-        """``K * (pair density)`` for a batch ``(..., ngrid)``."""
-        pg = self.grid.r_to_g(pair_density, bandbyband=bandbyband)
+        """``K * (pair density)`` for a batch ``(..., ngrid)``.
+
+        Pair densities are always freshly formed temporaries, so both
+        transforms run with ``consume=True`` — on in-place backends the
+        whole N^2-FFT hot loop allocates no transform results at all.
+        """
+        pg = self.grid.r_to_g(pair_density, bandbyband=bandbyband, consume=True)
         pg *= self.kernel_g
-        return self.grid.g_to_r(pg, bandbyband=bandbyband)
+        return self.grid.g_to_r(pg, bandbyband=bandbyband, consume=True)
 
     # -- pure-state / diagonalized form (Eq. (13)) -----------------------------
     def apply_diag(
@@ -81,7 +87,7 @@ class FockExchangeOperator:
         weights = np.asarray(weights, dtype=float)
         require(weights.shape == (phi_src.shape[0],), "one weight per source orbital")
         nsrc = phi_src.shape[0]
-        out = np.zeros_like(targets)
+        out = self.backend.zeros_like(targets)
         active = np.nonzero(np.abs(weights) > 1e-14)[0]
         src = phi_src[active]
         w = weights[active]
@@ -89,7 +95,7 @@ class FockExchangeOperator:
             return out
         for j in range(targets.shape[0]):
             psi_j = targets[j]
-            acc = np.zeros(self.grid.ngrid, dtype=complex)
+            acc = self.backend.zeros(self.grid.ngrid)
             for start in range(0, src.shape[0], self.batch_size):
                 blk = slice(start, start + self.batch_size)
                 pair = src[blk].conj() * psi_j[None, :]
@@ -113,7 +119,7 @@ class FockExchangeOperator:
         require(sigma.shape[0] == n, "sigma must match band count")
         if targets is None:
             targets = phi
-        out = np.zeros_like(targets)
+        out = self.backend.zeros_like(targets)
         for k in range(n):
             for i in range(n):
                 s_ik = sigma[i, k]
@@ -139,10 +145,10 @@ class FockExchangeOperator:
         if targets is None:
             targets = phi
         w_rows = sigma.T @ phi  # (N, ngrid)
-        out = np.zeros_like(targets)
+        out = self.backend.zeros_like(targets)
         n = phi.shape[0]
         for j in range(targets.shape[0]):
-            acc = np.zeros(self.grid.ngrid, dtype=complex)
+            acc = self.backend.zeros(self.grid.ngrid)
             for start in range(0, n, self.batch_size):
                 blk = slice(start, min(start + self.batch_size, n))
                 pair = phi[blk].conj() * targets[j][None, :]

@@ -85,6 +85,12 @@ class Hamiltonian:
         self._exx_sigma_pair: Optional[Tuple[np.ndarray, np.ndarray]] = None  # (phi, sigma)
         self._ace: Optional[ACEOperator] = None
 
+    # -- numerics engine ------------------------------------------------------
+    @property
+    def backend(self):
+        """The numerics backend (owned by the grid) this Hamiltonian runs on."""
+        return self.grid.backend
+
     # -- electron count -------------------------------------------------------
     @property
     def n_electrons(self) -> float:
@@ -197,9 +203,11 @@ class Hamiltonian:
         local = self.v_eff[None, :] * phi_r
         if include_exchange:
             local = local + self.apply_exchange(phi_r)
-        h_g += self.grid.r_to_g(local)
+        # `local` and `h_g` are step temporaries: let the backend
+        # transform them in place (values are identical)
+        h_g += self.grid.r_to_g(local, consume=True)
         self.grid.apply_cutoff(h_g)
-        return self.grid.g_to_r(h_g)
+        return self.grid.g_to_r(h_g, consume=True)
 
     def subspace_matrix(self, phi_r: np.ndarray, h_phi: Optional[np.ndarray] = None) -> np.ndarray:
         """Rayleigh quotient block ``(Phi* H Phi)`` — hermitized."""

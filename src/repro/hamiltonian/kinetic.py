@@ -49,7 +49,9 @@ class KineticOperator:
 
     def apply_g(self, phi_g: np.ndarray) -> np.ndarray:
         """Apply to a G-space coefficient block ``(..., ngrid)``."""
-        return phi_g * self._diag
+        out = self.grid.backend.empty_like(np.asarray(phi_g))
+        np.multiply(phi_g, self._diag, out=out)
+        return out
 
     def energy(self, phi_g: np.ndarray, weights: np.ndarray) -> float:
         """``Σ_n w_n <phi_n|T|phi_n>`` for G-space orbitals (rows)."""

@@ -28,7 +28,11 @@ def coulomb_kernel_g(grid: PlaneWaveGrid, gzero: float = 0.0) -> np.ndarray:
 
 
 def solve_poisson_g(
-    grid: PlaneWaveGrid, rho_flat: np.ndarray, kernel: Optional[np.ndarray] = None
+    grid: PlaneWaveGrid,
+    rho_flat: np.ndarray,
+    kernel: Optional[np.ndarray] = None,
+    *,
+    consume: bool = False,
 ) -> np.ndarray:
     """Apply an interaction kernel to a (possibly complex) density field.
 
@@ -40,6 +44,9 @@ def solve_poisson_g(
         (the multi-batch strategy of paper Sec. III-B).
     kernel:
         Flat G-space kernel; defaults to the bare Coulomb kernel.
+    consume:
+        Declare ``rho_flat`` a temporary the backend may transform in
+        place (values identical either way).
 
     Returns
     -------
@@ -47,13 +54,15 @@ def solve_poisson_g(
     """
     if kernel is None:
         kernel = coulomb_kernel_g(grid)
-    rho_g = grid.r_to_g(np.asarray(rho_flat))
-    return grid.g_to_r(rho_g * kernel)
+    rho_g = grid.r_to_g(np.asarray(rho_flat), consume=consume)
+    vg = rho_g * kernel
+    return grid.g_to_r(vg, consume=True)
 
 
 def hartree_potential(grid: PlaneWaveGrid, rho_flat: np.ndarray) -> np.ndarray:
     """Real Hartree potential of a real density (flat arrays)."""
-    v = solve_poisson_g(grid, rho_flat.astype(complex))
+    # the astype() copy is ours to destroy
+    v = solve_poisson_g(grid, rho_flat.astype(complex), consume=True)
     return v.real
 
 

@@ -9,7 +9,7 @@ The counts mirror the paper's complexity statements:
   the inner loop applying rank-N GEMMs.
 
 For small systems the FFT counts here are *asserted equal* to the
-instrumented :class:`~repro.fft.backend.FFTCounters` tallies of the real
+instrumented :class:`~repro.backend.FFTCounters` tallies of the real
 numerics (see tests) — the same formulas then drive paper-scale
 projections.
 

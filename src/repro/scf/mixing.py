@@ -126,8 +126,8 @@ class KerkerMixer:
 
     def mix(self, rho: np.ndarray, rho_new: np.ndarray) -> np.ndarray:
         resid = rho_new - rho
-        resid_g = self.grid.r_to_g(resid.astype(complex)) * self._filter
-        damped = self.grid.g_to_r(resid_g).real
+        resid_g = self.grid.r_to_g(resid.astype(complex), consume=True) * self._filter
+        damped = self.grid.g_to_r(resid_g, consume=True).real
         ne = rho.sum()
         out = self.anderson.mix(rho, rho + damped)
         out = np.maximum(out, 0.0)

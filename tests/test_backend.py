@@ -1,0 +1,404 @@
+"""The pluggable numerics backend: parity, out=/in-place, counting,
+registry, config wiring, and the package-wide np.fft isolation guard."""
+
+import re
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api import BackendConfig, ConfigError, Simulation, SimulationConfig
+from repro.api.ensemble import apply_overrides
+from repro.backend import (
+    HAVE_SCIPY,
+    Backend,
+    BackendError,
+    CountingBackend,
+    FFTCounters,
+    NumpyBackend,
+    available_backends,
+    make_backend,
+    register_backend,
+    resolve_backend,
+    unregister_backend,
+)
+from repro.grid import PlaneWaveGrid, silicon_cubic_cell
+from repro.utils.rng import default_rng
+
+needs_scipy = pytest.mark.skipif(not HAVE_SCIPY, reason="scipy not installed")
+
+BACKENDS = ["numpy"] + (["scipy"] if HAVE_SCIPY else [])
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request) -> Backend:
+    return make_backend(request.param, count_ffts=False)
+
+
+@pytest.fixture()
+def batch():
+    rng = default_rng(3)
+    return rng.standard_normal((5, 4, 6, 8)) + 1j * rng.standard_normal((5, 4, 6, 8))
+
+
+# ---------------- transform semantics, per backend ---------------------------
+
+
+def test_roundtrip_identity(backend, batch):
+    assert np.allclose(backend.backward(backend.forward(batch)), batch, atol=1e-12)
+
+
+def test_forward_normalization(backend):
+    """Constant field -> all weight in the zero frequency, amplitude 1."""
+    a = np.ones((4, 4, 4), dtype=complex) * 3.5
+    fa = backend.forward(a)
+    assert fa[0, 0, 0] == pytest.approx(3.5)
+    assert np.abs(fa).sum() == pytest.approx(3.5)
+
+
+def test_bandbyband_matches_batched(backend, batch):
+    assert np.allclose(backend.forward(batch), backend.forward_bandbyband(batch))
+    assert np.allclose(backend.backward(batch), backend.backward_bandbyband(batch))
+
+
+def test_out_receives_result(backend, batch):
+    ref = backend.forward(batch)
+    out = np.empty_like(batch)
+    r = backend.forward(batch, out=out)
+    assert r is out
+    assert np.allclose(out, ref, atol=1e-14)
+    out2 = np.empty_like(batch)
+    assert backend.backward(batch, out=out2) is out2
+    assert np.allclose(out2, backend.backward(batch), atol=1e-14)
+
+
+def test_inplace_transform(backend, batch):
+    """``out is a`` destroys the input and leaves the transform in place."""
+    ref = backend.forward(batch)
+    work = batch.copy()
+    r = backend.forward(work, out=work)
+    assert r is work
+    assert np.allclose(work, ref, atol=1e-14)
+    # and back, in place again
+    assert np.allclose(backend.backward(work, out=work), batch, atol=1e-12)
+
+
+def test_bandbyband_out(backend, batch):
+    ref = backend.forward(batch)
+    work = batch.copy()
+    assert backend.forward_bandbyband(work, out=work) is work
+    assert np.allclose(work, ref, atol=1e-14)
+
+
+def test_out_validation(backend, batch):
+    with pytest.raises(ValueError, match="shape"):
+        backend.forward(batch, out=np.empty((2, 4, 6, 8), dtype=complex))
+    with pytest.raises(ValueError, match="complex"):
+        backend.forward(batch, out=np.empty(batch.shape))
+    with pytest.raises(ValueError, match=">= 3 dims"):
+        backend.forward(np.zeros((4, 4), dtype=complex))
+
+
+def test_numpy_backend_bit_compatible_with_seed(batch):
+    """The default engine reproduces the seed convention bit for bit."""
+    nb = NumpyBackend()
+    scale = 1.0 / np.prod(batch.shape[-3:])
+    assert np.array_equal(nb.forward(batch), np.fft.fftn(batch, axes=(-3, -2, -1)) * scale)
+    assert np.array_equal(
+        nb.backward(batch),
+        np.fft.ifftn(batch, axes=(-3, -2, -1)) * float(np.prod(batch.shape[-3:])),
+    )
+
+
+@needs_scipy
+def test_scipy_matches_numpy_to_roundoff(batch):
+    nb, sb = make_backend("numpy"), make_backend("scipy")
+    assert np.allclose(sb.forward(batch), nb.forward(batch), atol=1e-14)
+    assert np.allclose(sb.backward(batch), nb.backward(batch), atol=1e-12)
+
+
+# ---------------- allocation + plans -----------------------------------------
+
+
+def test_allocation_api(backend):
+    a = backend.empty((3, 4), dtype=complex)
+    assert a.shape == (3, 4) and a.dtype == np.complex128
+    z = backend.zeros((2, 2))
+    assert z.dtype == np.complex128 and not z.any()
+    zl = backend.zeros_like(np.empty((5,), dtype=float))
+    assert zl.dtype == np.float64 and not zl.any()
+    assert backend.empty_like(a).shape == a.shape
+
+
+def test_scratch_buffers_are_cached(backend):
+    s1 = backend.scratch((4, 4, 4))
+    s2 = backend.scratch((4, 4, 4))
+    assert s1 is s2
+    assert backend.scratch((4, 4, 4), dtype=float) is not s1
+
+
+def test_plan_cache(backend):
+    p1 = backend.plan((4, 6, 8))
+    assert p1 is backend.plan((4, 6, 8))
+    assert p1.scale_forward == pytest.approx(1.0 / 192.0)
+    assert p1.scale_backward == pytest.approx(192.0)
+
+
+# ---------------- counting wrapper -------------------------------------------
+
+
+def test_counting_semantics(batch):
+    cb = make_backend("numpy")  # count_ffts defaults on
+    assert isinstance(cb, CountingBackend) and cb.name == "numpy"
+    cb.forward(batch)
+    assert cb.counters.transforms == 5 and cb.counters.calls == 1
+    cb.forward_bandbyband(batch)
+    assert cb.counters.transforms == 10 and cb.counters.calls == 6
+    assert cb.counters.by_shape[(4, 6, 8)] == 10
+    snap = cb.counters.snapshot()
+    cb.backward(batch)
+    assert cb.counters.since(snap).transforms == 5
+
+
+def test_counting_wrapper_is_numerically_transparent(batch):
+    plain, counted = NumpyBackend(), make_backend("numpy")
+    assert np.array_equal(counted.forward(batch), plain.forward(batch))
+
+
+def test_count_ffts_false_gives_plain_backend():
+    b = make_backend("numpy", count_ffts=False)
+    assert b.counters is None and isinstance(b, NumpyBackend)
+
+
+def test_counters_merge_and_dict_roundtrip():
+    a = FFTCounters()
+    a.record((4, 4, 4), 3)
+    b = FFTCounters()
+    b.record((4, 4, 4), 2)
+    b.record((6, 6, 6), 1)
+    a.merge(b)
+    assert a.transforms == 6 and a.calls == 3
+    assert a.by_shape == {(4, 4, 4): 5, (6, 6, 6): 1}
+    back = FFTCounters.from_dict(a.to_dict())
+    assert back == a
+
+
+# ---------------- registry ----------------------------------------------------
+
+
+def test_registry_lists_builtins():
+    names = available_backends()
+    assert {"numpy", "scipy", "counting"} <= set(names)
+
+
+def test_make_backend_unknown_name_lists_registered():
+    with pytest.raises(BackendError, match="registered: .*numpy"):
+        make_backend("cufft")
+
+
+def test_register_and_unregister_backend():
+    @register_backend("test_dummy")
+    def _dummy(fft_workers=1):
+        return NumpyBackend(fft_workers)
+
+    try:
+        assert "test_dummy" in available_backends()
+        assert isinstance(make_backend("test_dummy", count_ffts=False), NumpyBackend)
+        with pytest.raises(BackendError, match="already registered"):
+            register_backend("test_dummy", _dummy)
+    finally:
+        unregister_backend("test_dummy")
+    assert "test_dummy" not in available_backends()
+
+
+def test_resolve_backend_fresh_default():
+    a, b = resolve_backend(None), resolve_backend(None)
+    assert a is not b  # never process-global state
+    assert a.counters is not None
+    eng = NumpyBackend()
+    assert resolve_backend(eng) is eng
+    assert resolve_backend("counting").counters is not None
+
+
+@needs_scipy
+def test_scipy_workers_validated():
+    with pytest.raises(BackendError, match="fft_workers"):
+        make_backend("scipy", fft_workers=0)
+
+
+# ---------------- grid + deprecated shim -------------------------------------
+
+
+@pytest.fixture(scope="module")
+def si_cell_local():
+    return silicon_cubic_cell()
+
+
+def test_grid_owns_fresh_counting_backend(si_cell_local):
+    g1 = PlaneWaveGrid(si_cell_local, ecut=2.0)
+    g2 = PlaneWaveGrid(si_cell_local, ecut=2.0)
+    assert g1.backend is not g2.backend  # no shared global engine
+    assert g1.backend.counters is not None
+    assert g1.engine is g1.backend  # deprecated alias
+
+
+def test_grid_accepts_backend_name(si_cell_local):
+    g = PlaneWaveGrid(si_cell_local, ecut=2.0, backend="counting")
+    assert g.backend.counters is not None
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_grid_consume_matches_plain(si_cell_local, name):
+    grid = PlaneWaveGrid(si_cell_local, ecut=2.0, backend=name)
+    rng = default_rng(1)
+    x = rng.standard_normal((3, grid.ngrid)) + 1j * rng.standard_normal((3, grid.ngrid))
+    ref = grid.r_to_g(x)
+    got = grid.r_to_g(x.copy(), consume=True)
+    assert np.allclose(got, ref, atol=1e-14)
+    back = grid.g_to_r(ref.copy(), consume=True)
+    assert np.allclose(back, grid.g_to_r(ref), atol=1e-13)
+
+
+def test_global_engine_shim_warns_and_counts():
+    import repro.fft as fft_shim
+
+    with pytest.warns(DeprecationWarning, match="deprecated"):
+        eng = fft_shim.global_engine()
+    with pytest.warns(DeprecationWarning):
+        assert fft_shim.global_engine() is eng  # still a process-wide singleton
+    before = eng.counters.transforms
+    eng.forward(np.zeros((2, 4, 4, 4), dtype=complex))
+    assert eng.counters.transforms == before + 2
+    assert isinstance(eng, CountingBackend)
+    assert fft_shim.FFTCounters is FFTCounters
+
+
+# ---------------- SCF-level backend parity -----------------------------------
+
+
+@needs_scipy
+@pytest.mark.parametrize("section", [{"name": "scipy", "fft_workers": 2}])
+def test_scf_energy_parity_scipy(section):
+    """From-scratch SCF on scipy agrees with numpy at physical tolerance.
+
+    Iterative solvers stop at davidson_tol/density_tol, so converged
+    *states* are backend-dependent at ~1e-7; the variational total
+    energy must agree far tighter.  (Trajectory-level 1e-10 parity from
+    a shared ground state is gated in test_golden_trajectories.py.)
+    """
+    base = {
+        "system": {"cell": "silicon_cubic", "ecut": 2.0, "functional": "lda"},
+        "scf": {"nbands": 20, "temperature_k": 8000.0, "density_tol": 1e-6},
+    }
+    e = {}
+    for backend_section in ({"name": "numpy"}, section):
+        cfg = SimulationConfig.from_dict({**base, "backend": backend_section})
+        gs = Simulation(cfg).ground_state()
+        assert gs.converged
+        e[cfg.backend.name] = gs.total_energy
+    assert e["scipy"] == pytest.approx(e["numpy"], abs=1e-7)
+
+
+# ---------------- config wiring ----------------------------------------------
+
+
+def test_backend_config_defaults_and_roundtrip():
+    cfg = SimulationConfig.from_dict({})
+    assert cfg.backend == BackendConfig()
+    assert cfg.backend.name == "numpy" and cfg.backend.count_ffts
+    assert SimulationConfig.from_dict(cfg.to_dict()) == cfg
+    assert cfg.to_dict()["backend"] == {"name": "numpy", "fft_workers": 1, "count_ffts": True}
+
+
+@pytest.mark.parametrize(
+    "data,match",
+    [
+        ({"name": ""}, "backend.name"),
+        ({"fft_workers": 0}, "backend.fft_workers"),
+        ({"fft_workers": 1.5}, "backend.fft_workers"),
+        ({"count_ffts": "yes"}, "backend.count_ffts"),
+        ({"workers": 2}, "unknown key"),
+    ],
+)
+def test_backend_config_rejects_bad_input(data, match):
+    with pytest.raises(ConfigError, match=match):
+        BackendConfig.from_dict(data)
+
+
+def test_backend_sweep_axis():
+    """`backend.name` works as an ensemble sweep axis."""
+    base = SimulationConfig.from_dict({})
+    cfg = apply_overrides(base, {"backend.name": "scipy", "backend.fft_workers": 4})
+    assert cfg.backend.name == "scipy" and cfg.backend.fft_workers == 4
+
+
+def test_simulation_builds_configured_backend():
+    sim = Simulation({"backend": {"name": "counting"}})
+    assert sim.backend.counters is not None
+    assert sim.grid.backend is sim.backend
+
+
+def test_simulation_unknown_backend_raises():
+    with pytest.raises(BackendError, match="registered"):
+        Simulation({"backend": {"name": "nope"}}).backend
+
+
+def test_simulation_uncounted_backend():
+    sim = Simulation({"backend": {"count_ffts": False}})
+    assert sim.backend.counters is None
+    assert sim.fft_counters() is None
+
+
+def test_derive_shares_grid_only_on_same_backend():
+    sim = Simulation({"system": {"ecut": 2.0}})
+    _ = sim.grid
+    same = sim.derive(propagation={"n_steps": 1})
+    assert same._grid is sim._grid
+    other = sim.derive(backend={"count_ffts": False})
+    assert other._grid is None  # grid owns the engine: must be rebuilt
+    assert other._gs is sim._gs or sim._gs is None
+
+
+# ---------------- np.fft isolation guard -------------------------------------
+
+_SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+_FFT_TOKENS = re.compile(
+    r"np\.fft\.|numpy\.fft|from\s+numpy\s+import\s+fft|from\s+numpy\.fft\s+import"
+    r"|scipy\.fft|from\s+scipy\s+import\s+fft|import\s+pyfftw"
+)
+
+
+def test_no_raw_fft_outside_backend_package():
+    """Every FFT in the package goes through repro.backend.
+
+    The raw libraries (np.fft / scipy.fft) may appear only inside
+    ``src/repro/backend/`` — otherwise transforms escape the counters
+    and the paper's analytic N^2/N^3 tallies stop matching the
+    instrumented numerics.
+    """
+    offenders = []
+    for path in sorted(_SRC.rglob("*.py")):
+        rel = path.relative_to(_SRC)
+        if rel.parts[0] == "backend":
+            continue
+        text = path.read_text()
+        for lineno, line in enumerate(text.splitlines(), 1):
+            if _FFT_TOKENS.search(line):
+                offenders.append(f"{rel}:{lineno}: {line.strip()}")
+    assert not offenders, (
+        "raw FFT-library usage outside repro/backend/:\n" + "\n".join(offenders)
+    )
+
+
+def test_spectrum_is_uncounted_analysis_path():
+    """absorption_spectrum uses the exempt 1-D helpers: correct numbers,
+    and by construction no grid-backend counter traffic."""
+    from repro.observables.spectrum import absorption_spectrum
+
+    times = np.linspace(0.0, 10.0, 32)
+    dipole = np.sin(1.3 * times)
+    omega, strength = absorption_spectrum(times, dipole, kick=1e-3, pad_factor=2)
+    dt = times[1] - times[0]
+    signal = (dipole - dipole[0]) * np.exp(-0.003 * times)
+    ref = np.fft.rfft(signal, n=64) * dt
+    assert np.allclose(strength, (2 * omega / np.pi) * np.imag(ref / 1e-3))
