@@ -14,6 +14,7 @@ from repro.api.config import (
     BackendConfig,
     ConfigError,
     FieldConfig,
+    ParallelConfig,
     PropagationConfig,
     SCFConfig,
     SimulationConfig,
@@ -23,6 +24,7 @@ from repro.api.config import (
 )
 from repro.api.ensemble import (
     EnsembleResult,
+    FFTCoverage,
     RunRecord,
     SweepVariant,
     apply_overrides,
@@ -51,6 +53,7 @@ __all__ = [
     "BackendConfig",
     "ConfigError",
     "FieldConfig",
+    "ParallelConfig",
     "PropagationConfig",
     "SCFConfig",
     "SimulationConfig",
@@ -58,6 +61,7 @@ __all__ = [
     "SystemConfig",
     "load_sweep_file",
     "EnsembleResult",
+    "FFTCoverage",
     "RunRecord",
     "SweepVariant",
     "apply_overrides",

@@ -13,13 +13,15 @@ uninterrupted run (tested in ``tests/test_api_simulation.py``).
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass
+import json
+from dataclasses import MISSING, dataclass
 from pathlib import Path
 from typing import Optional
 
 import numpy as np
 
 from repro.api.config import ConfigError, SimulationConfig, check_config_matches
+from repro.parallel.ledger import CostLedger
 from repro.rt.propagator import TDState
 from repro.scf.groundstate import GroundState
 
@@ -31,11 +33,13 @@ _GS_FIELDS = [f.name for f in dataclasses.fields(GroundState)]
 
 @dataclass(frozen=True)
 class Checkpoint:
-    """A loaded checkpoint: config + state (+ optional ground state)."""
+    """A loaded checkpoint: config + state (+ optional ground state,
+    + the cumulative communication ledger of a parallel run)."""
 
     config: SimulationConfig
     state: TDState
     ground_state: Optional[GroundState] = None
+    parallel_ledger: Optional[CostLedger] = None
 
 
 def save_checkpoint(
@@ -43,6 +47,7 @@ def save_checkpoint(
     config: SimulationConfig,
     state: TDState,
     ground_state: Optional[GroundState] = None,
+    parallel_ledger: Optional[CostLedger] = None,
 ) -> Path:
     """Write a single-``.npz`` checkpoint; returns the resolved path."""
     path = Path(path)
@@ -56,6 +61,10 @@ def save_checkpoint(
     if ground_state is not None:
         for name in _GS_FIELDS:
             payload[f"gs_{name}"] = np.asarray(getattr(ground_state, name))
+    if parallel_ledger is not None:
+        payload["parallel_ledger_json"] = np.str_(
+            json.dumps(parallel_ledger.to_dict(), sort_keys=True)
+        )
     np.savez(path, **payload)
     return path
 
@@ -95,12 +104,29 @@ def load_checkpoint(
         ground_state = None
         if "gs_orbitals" in data:
             kwargs = {}
-            for name in _GS_FIELDS:
-                value = np.array(data[f"gs_{name}"])
+            for f in dataclasses.fields(GroundState):
+                key = f"gs_{f.name}"
+                if key not in data:
+                    # fields added after the checkpoint was written fall
+                    # back to their dataclass defaults (forward compat)
+                    if f.default is not MISSING or f.default_factory is not MISSING:
+                        continue
+                    raise ConfigError(f"{path} is not a repro checkpoint (missing {key!r})")
+                value = np.array(data[key])
                 if value.ndim == 0:
                     value = value.item()
-                elif name == "history":
+                elif f.name == "history":
                     value = [float(v) for v in value]
-                kwargs[name] = value
+                kwargs[f.name] = value
             ground_state = GroundState(**kwargs)
-    return Checkpoint(config=config, state=state, ground_state=ground_state)
+        parallel_ledger = None
+        if "parallel_ledger_json" in data:
+            parallel_ledger = CostLedger.from_dict(
+                json.loads(str(data["parallel_ledger_json"]))
+            )
+    return Checkpoint(
+        config=config,
+        state=state,
+        ground_state=ground_state,
+        parallel_ledger=parallel_ledger,
+    )

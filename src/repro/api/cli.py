@@ -54,6 +54,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "--fft-workers", type=int, default=None, metavar="N",
         help="override backend.fft_workers (threaded transforms on scipy)",
     )
+    run.add_argument(
+        "--ranks", type=int, default=None, metavar="P",
+        help="run band-parallel over P simulated ranks (overrides parallel.ranks)",
+    )
+    run.add_argument(
+        "--pattern", choices=("bcast", "ring", "async-ring"), default=None,
+        help="Fock-exchange communication schedule (overrides parallel.pattern)",
+    )
+    run.add_argument(
+        "--machine", default=None, metavar="NAME",
+        help="hardware cost model for the ledger (fugaku-arm, a100-gpu; "
+             "overrides parallel.machine)",
+    )
     run.add_argument("--output", default=None, metavar="NPZ", help="save observables + config")
     run.add_argument("--checkpoint", default=None, metavar="NPZ", help="save a restart checkpoint")
     run.add_argument("--quiet", action="store_true", help="suppress the observable table")
@@ -106,6 +119,23 @@ def _finish(sim: Simulation, result, args) -> None:
                 f"FFTs: {result.fft.transforms} transforms in "
                 f"{result.fft.calls} calls ({sim.backend.describe()})"
             )
+        ctx = sim.parallel
+        if ctx is not None:
+            # this session's measured accounting (SCF + propagation as
+            # executed here; a resumed run's checkpointed history is
+            # excluded so the comm and FFT windows match), rendered with
+            # the same formatter as the analytic Table I
+            from repro.perf.report import measured_breakdown_report
+
+            print(
+                measured_breakdown_report(
+                    {ctx.pattern: ctx.session_ledger()},
+                    ctx.machine,
+                    sim.cell.natom,
+                    ctx.nranks,
+                    fft={ctx.pattern: sim.fft_counters()},
+                )
+            )
     if args.output:
         path = result.save_npz(args.output)
         print(f"observables saved to {path}")
@@ -131,6 +161,18 @@ def _cmd_run(args) -> int:
         overrides["fft_workers"] = args.fft_workers
     if overrides:
         base = base.replace(backend=overrides)
+    par_overrides = {}
+    if args.ranks is not None:
+        par_overrides["ranks"] = args.ranks
+    if args.pattern is not None:
+        par_overrides["pattern"] = args.pattern
+    if args.machine is not None:
+        par_overrides["machine"] = args.machine
+    if par_overrides:
+        # an explicit parallel flag opts into the distributed path even
+        # at one rank (parity smokes); ranks > 1 would activate anyway
+        par_overrides.setdefault("enabled", True)
+        base = base.replace(parallel=par_overrides)
     sim = Simulation(base)
     cfg = sim.config
     if not args.quiet:
@@ -138,6 +180,12 @@ def _cmd_run(args) -> int:
             f"system: {cfg.system.cell} | ecut {cfg.system.ecut} Ha | "
             f"functional {cfg.system.functional} | field {cfg.field.kind}"
         )
+        if cfg.parallel.active:
+            shm = "on" if cfg.parallel.use_shm else "off"
+            print(
+                f"parallel: {cfg.parallel.ranks} ranks | pattern "
+                f"{cfg.parallel.pattern} | machine {cfg.parallel.machine} | shm {shm}"
+            )
         print(f"converging ground state ({cfg.scf.temperature_k:.0f} K) ...")
     gs = sim.ground_state()
     if not args.quiet:

@@ -237,6 +237,70 @@ class BackendConfig(_Section):
 
 
 @dataclass(frozen=True)
+class ParallelConfig(_Section):
+    """Simulated-MPI execution (see :mod:`repro.parallel`).
+
+    ``ranks`` band-shards the Fock-exchange work over a
+    :class:`~repro.parallel.comm.SimComm`; ``pattern`` picks the paper's
+    Fig. 5 communication schedule (``bcast``, ``ring``, ``async-ring``);
+    ``machine`` selects the hardware cost model charged to the
+    :class:`~repro.parallel.ledger.CostLedger`; ``use_shm`` models
+    node-shared N x N matrices (allreduces join one rank per node,
+    Sec. IV-B3).  Results are bit-identical to the serial path at every
+    rank count and pattern — only the communication accounting differs.
+
+    The section is *active* when ``ranks > 1``, or at any rank count
+    when ``enabled = true`` (useful to exercise the distributed code
+    path at one rank).  ``enabled = false`` forces the serial path
+    regardless of ``ranks``.
+    """
+
+    _context = "parallel"
+
+    ranks: int = 1
+    pattern: str = "ring"
+    machine: str = "fugaku-arm"
+    use_shm: bool = True
+    enabled: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        from repro.parallel.distfock import PATTERNS
+
+        _check(
+            isinstance(self.ranks, int) and self.ranks >= 1,
+            f"parallel.ranks must be an integer >= 1, got {self.ranks!r}",
+        )
+        _check(
+            self.pattern in PATTERNS,
+            f"parallel.pattern must be one of {', '.join(PATTERNS)}, got {self.pattern!r}",
+        )
+        _check(
+            isinstance(self.use_shm, bool),
+            f"parallel.use_shm must be a boolean, got {self.use_shm!r}",
+        )
+        if self.enabled is not None:
+            _check(
+                isinstance(self.enabled, bool),
+                f"parallel.enabled must be a boolean, got {self.enabled!r}",
+            )
+        from repro.parallel.machine import machine_by_name
+
+        try:
+            spec = machine_by_name(self.machine)
+        except KeyError as exc:
+            raise ConfigError(f"parallel.machine: {exc.args[0]}") from exc
+        # canonicalize aliases ("arm" -> "fugaku-arm") for provenance
+        object.__setattr__(self, "machine", spec.name)
+
+    @property
+    def active(self) -> bool:
+        """Whether this section routes exchange through ``repro.parallel``."""
+        if self.enabled is not None:
+            return self.enabled
+        return self.ranks > 1
+
+
+@dataclass(frozen=True)
 class SweepConfig(_Section):
     """Declarative multi-run sweep: config axes crossed into a grid.
 
@@ -378,6 +442,7 @@ class SimulationConfig:
     field: FieldConfig = dataclasses.field(default_factory=FieldConfig)
     propagation: PropagationConfig = dataclasses.field(default_factory=PropagationConfig)
     backend: BackendConfig = dataclasses.field(default_factory=BackendConfig)
+    parallel: ParallelConfig = dataclasses.field(default_factory=ParallelConfig)
 
     _SECTIONS = {
         "system": SystemConfig,
@@ -385,6 +450,7 @@ class SimulationConfig:
         "field": FieldConfig,
         "propagation": PropagationConfig,
         "backend": BackendConfig,
+        "parallel": ParallelConfig,
     }
 
     def __post_init__(self) -> None:

@@ -36,7 +36,7 @@ from concurrent.futures import (
 )
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -44,7 +44,20 @@ from repro.api.config import ConfigError, SimulationConfig, SweepConfig
 from repro.api.simulation import Simulation, SimulationResult
 from repro.backend import FFTCounters
 from repro.observables.spectrum import absorption_spectrum
+from repro.parallel.ledger import CostLedger
 from repro.scf.groundstate import GroundState
+
+
+class FFTCoverage(NamedTuple):
+    """Merged ensemble FFT tally + how many runs actually reported one."""
+
+    totals: Optional[FFTCounters]
+    n_reporting: int
+    n_runs: int
+
+    @property
+    def complete(self) -> bool:
+        return self.n_reporting == self.n_runs
 
 #: schema version stamped into ensemble ``.npz`` files
 ENSEMBLE_VERSION = 1
@@ -140,12 +153,15 @@ class RunRecord:
     elapsed: float = 0.0
     arrays: Dict[str, np.ndarray] = field(default_factory=dict)
     #: this run's own *propagation* FFT tally — the shared group SCF runs
-    #: before any per-run snapshot and is attributed to no run.  None when
-    #: the variant's backend is uncounted, and None on the thread
-    #: scheduler, where concurrent runs share one counting engine and
-    #: overlapping snapshots would double-count (serial and process
-    #: tallies are exact).
+    #: before any per-run snapshot and is attributed to no run.  None only
+    #: when the variant's backend is uncounted: every scheduler reports an
+    #: exact tally, because each variant computes through its own
+    #: :class:`~repro.backend.CountingBackend` view (private counters,
+    #:  shared engine) — including concurrent thread-scheduled runs.
     fft: Optional[FFTCounters] = None
+    #: communication accounting (``ParallelRunInfo.to_dict()`` form) when
+    #: the variant ran under an active ``[parallel]`` section, else None
+    parallel: Optional[Dict[str, Any]] = None
     #: full in-memory result (live runs only; not restored by load_npz)
     result: Optional[SimulationResult] = None
 
@@ -199,23 +215,43 @@ class EnsembleResult:
             detail = "; ".join(f"run {r.index} [{r.label()}]: {r.error}" for r in bad)
             raise RuntimeError(f"{len(bad)}/{len(self.runs)} ensemble runs failed: {detail}")
 
-    def fft_totals(self) -> Optional[FFTCounters]:
-        """Merged FFT tally over all runs that reported one (else ``None``).
+    def fft_totals(self) -> "FFTCoverage":
+        """Coverage-aware merged FFT tally over the whole ensemble.
 
-        This is the fix for the process-pool counter loss: each worker's
-        per-run snapshot travels back with its result and is summed here
-        instead of dying with the worker process.  Thread-scheduled runs
-        report no tally (see :attr:`RunRecord.fft`), so a thread sweep
-        yields ``None`` rather than a double-counted number.
+        Returns ``FFTCoverage(totals, n_reporting, n_runs)``: ``totals``
+        merges the runs that reported a tally (``None`` when none did —
+        uncounted backends), and ``n_reporting`` / ``n_runs`` make
+        partial coverage explicit instead of letting a partial sum
+        masquerade as the ensemble total.  :meth:`summary` flags
+        ``n_reporting < n_runs`` in its tally line.
         """
         total: Optional[FFTCounters] = None
+        n_reporting = 0
         for r in self.runs:
             if r.fft is None:
                 continue
+            n_reporting += 1
             if total is None:
                 total = FFTCounters()
             total.merge(r.fft)
-        return total
+        return FFTCoverage(total, n_reporting, len(self.runs))
+
+    def parallel_ledgers(self) -> Dict[str, "CostLedger"]:
+        """Per-run communication ledgers keyed by run label.
+
+        Only runs executed under an active ``[parallel]`` section appear;
+        a ``parallel.pattern``/``parallel.ranks`` sweep therefore yields
+        one measured ledger per grid point — the Fig. 5 / Table I
+        trade-off from a single command.
+        """
+        out: Dict[str, CostLedger] = {}
+        for r in self.runs:
+            if r.parallel is None:
+                continue
+            out[f"run{r.index} {r.label()}"] = CostLedger.from_dict(
+                dict(r.parallel.get("ledger", {}))
+            )
+        return out
 
     # -- aggregation --------------------------------------------------------
     def stacked(self, key: str) -> np.ndarray:
@@ -305,21 +341,48 @@ class EnsembleResult:
     # -- reporting ----------------------------------------------------------
     def summary(self) -> str:
         """Per-run status table + one-line tally (the CLI output)."""
-        lines = [f"{'run':>4}  {'status':<6} {'t (s)':>7} {'ffts':>9}  overrides"]
+        with_comm = any(r.parallel is not None for r in self.runs)
+        header = f"{'run':>4}  {'status':<6} {'t (s)':>7} {'ffts':>9}"
+        if with_comm:
+            header += f" {'comm (s)':>10}"
+        lines = [header + "  overrides"]
         for r in self.runs:
             note = f"  !! {r.error.splitlines()[-1]}" if r.error else ""
             ffts = f"{r.fft.transforms}" if r.fft is not None else "-"
-            lines.append(
-                f"{r.index:>4}  {r.status:<6} {r.elapsed:7.2f} {ffts:>9}  {r.label()}{note}"
-            )
+            row = f"{r.index:>4}  {r.status:<6} {r.elapsed:7.2f} {ffts:>9}"
+            if with_comm:
+                if r.parallel is not None:
+                    seconds = sum(
+                        agg.get("seconds", 0.0)
+                        for agg in r.parallel.get("ledger", {}).values()
+                    )
+                    row += f" {seconds:>10.3e}"
+                else:
+                    row += f" {'-':>10}"
+            lines.append(f"{row}  {r.label()}{note}")
         n_ok = len(self.ok)
         tally = f"{n_ok}/{len(self.runs)} runs ok"
-        total = self.fft_totals()
-        if total is not None:
+        coverage = self.fft_totals()
+        if coverage.totals is not None:
             tally += (
-                f" | FFTs: {total.transforms} transforms in {total.calls} calls"
+                f" | FFTs: {coverage.totals.transforms} transforms in "
+                f"{coverage.totals.calls} calls"
             )
+            if not coverage.complete:
+                tally += (
+                    f" (partial: {coverage.n_reporting}/{coverage.n_runs} runs reporting)"
+                )
         lines.append(tally)
+        if with_comm:
+            lines.append("per-run communication (modeled s by MPI category):")
+            for label, ledger in self.parallel_ledgers().items():
+                seconds = ledger.seconds_by_category()
+                cells = "  ".join(
+                    f"{cat} {val:.3e}" for cat, val in seconds.items() if val > 0.0
+                )
+                lines.append(
+                    f"  {label}: {cells or '(none)'}  | total {ledger.total_seconds():.3e}"
+                )
         return "\n".join(lines)
 
     # -- persistence --------------------------------------------------------
@@ -344,6 +407,7 @@ class EnsembleResult:
                     "error": r.error,
                     "elapsed": r.elapsed,
                     "fft": r.fft.to_dict() if r.fft is not None else None,
+                    "parallel": r.parallel,
                 }
                 for r in self.runs
             ],
@@ -396,6 +460,7 @@ class EnsembleResult:
                         elapsed=float(entry.get("elapsed", 0.0)),
                         arrays=arrays,
                         fft=FFTCounters.from_dict(fft_meta) if fft_meta else None,
+                        parallel=entry.get("parallel"),
                     )
                 )
         return cls(
@@ -420,7 +485,10 @@ def _gs_key(config: SimulationConfig) -> str:
     boundaries.  Tuning knobs of the same engine (``fft_workers``,
     ``count_ffts``) are deliberately excluded: the converged ground state
     is plain arrays, and re-solving an identical SCF per thread-count
-    would dominate a threading sweep.
+    would dominate a threading sweep.  The ``parallel`` section is also
+    excluded: the distributed exchange is bit-identical to serial at
+    every rank count and pattern (tested), so a pattern/rank sweep shares
+    one SCF and measures only what it should — the communication ledgers.
     """
     return json.dumps(
         {
@@ -433,41 +501,45 @@ def _gs_key(config: SimulationConfig) -> str:
 
 
 def _execute_sim(
-    sim: Simulation, with_fft: bool = True
-) -> Tuple[Dict[str, np.ndarray], Optional[FFTCounters], SimulationResult, float]:
+    sim: Simulation,
+) -> Tuple[Dict[str, np.ndarray], Optional[FFTCounters], Optional[Dict[str, Any]], SimulationResult, float]:
     """Run one prepared simulation (serial/thread worker body).
 
     Times itself so pooled runs report true compute duration, not queue
-    wait + collection order, and (``with_fft``) snapshots the backend's
-    FFT counters around the run so each record carries its own tally.
-    The thread scheduler passes ``with_fft=False``: its runs share one
-    counting engine concurrently, so overlapping snapshot windows would
-    credit the same transforms to several runs.
+    wait + collection order.  The FFT tally comes off the run's own
+    counter scope: every derived variant was re-pointed at a private
+    :class:`~repro.backend.CountingBackend` view by
+    :meth:`Simulation.isolate_counters`, so concurrent thread-scheduled
+    runs each report an exact per-run tally (they share the engine, not
+    the counters).
     """
     started = time.perf_counter()
-    counters = sim.backend.counters if with_fft else None
-    before = counters.snapshot() if counters is not None else None
     result = sim.run()
-    fft = counters.since(before) if counters is not None else None
-    return result.observables(), fft, result, time.perf_counter() - started
+    parallel = result.parallel.to_dict() if result.parallel is not None else None
+    return result.observables(), result.fft, parallel, result, time.perf_counter() - started
 
 
 def _execute_variant_json(
     config_json: str, ground_state: Optional[GroundState]
-) -> Tuple[Dict[str, np.ndarray], Optional[FFTCounters], float]:
+) -> Tuple[Dict[str, np.ndarray], Optional[FFTCounters], Optional[Dict[str, Any]], float]:
     """Process-pool entry: configs travel as JSON, arrays come back.
 
-    The FFT tally is snapshotted *in the worker* and pickled back with
-    the observables — previously it was recorded into the worker's
-    process-global engine and discarded with the process.
+    The FFT tally and communication accounting are snapshotted *in the
+    worker* and pickled back with the observables — previously they were
+    recorded into the worker's process-global state and discarded with
+    the process.
     """
     started = time.perf_counter()
     sim = Simulation(
         SimulationConfig.from_json(config_json), ground_state=ground_state
     )
-    arrays = sim.run().observables()
-    fft = sim.fft_counters()
-    return arrays, fft, time.perf_counter() - started
+    result = sim.run()
+    arrays = result.observables()
+    # result.fft is the propagation-window tally (same window the other
+    # schedulers report), not the worker-cumulative count — the two differ
+    # by the Hamiltonian-construction transforms
+    parallel = result.parallel.to_dict() if result.parallel is not None else None
+    return arrays, result.fft, parallel, time.perf_counter() - started
 
 
 def _converge_json(config_json: str) -> GroundState:
@@ -518,14 +590,26 @@ def _converge_shared_ground_states(
 
 
 def _derive_from(proto: Simulation, config: SimulationConfig) -> Simulation:
-    """The variant simulation, cache-sharing with its group prototype."""
+    """The variant simulation, cache-sharing with its group prototype.
+
+    The derived simulation is re-scoped onto its own FFT-counter view
+    (:meth:`Simulation.isolate_counters`): same engine and plan cache as
+    the prototype, private counters — so every scheduler (including
+    concurrent threads) reports an exact per-run tally.
+    """
+    # materialize the prototype's grid (and with it the engine) before
+    # deriving: a pool-converged prototype never computed in this
+    # process, and an unbuilt backend would leave each variant creating
+    # its own engine/plan cache/G-vector setup instead of sharing one
+    proto.grid
     return proto.derive(
         system=config.system,
         scf=config.scf,
         field=config.field,
         propagation=config.propagation,
         backend=config.backend,
-    )
+        parallel=config.parallel,
+    ).isolate_counters()
 
 
 def resolve_scheduler(scheduler: str, workers: int) -> str:
@@ -579,13 +663,15 @@ def run_ensemble(
     records = [RunRecord(v.index, v.overrides, v.config) for v in variants]
 
     def _finish(
-        record: RunRecord, elapsed: float, arrays=None, fft=None, result=None, exc=None
+        record: RunRecord, elapsed: float, arrays=None, fft=None, parallel=None,
+        result=None, exc=None,
     ):
         record.elapsed = elapsed
         if exc is None:
             record.status = "ok"
             record.arrays = arrays
             record.fft = fft
+            record.parallel = parallel
             record.result = result
         else:
             record.status = "error"
@@ -607,11 +693,16 @@ def run_ensemble(
                 _finish(record, time.perf_counter() - started, exc=proto)
                 continue
             try:
-                arrays, fft, result, elapsed = _execute_sim(_derive_from(proto, v.config))
+                arrays, fft, parallel, result, elapsed = _execute_sim(
+                    _derive_from(proto, v.config)
+                )
             except Exception as exc:  # noqa: BLE001 — per-run isolation is the point
                 _finish(record, time.perf_counter() - started, exc=exc)
             else:
-                _finish(record, elapsed, arrays=arrays, fft=fft, result=result)
+                _finish(
+                    record, elapsed, arrays=arrays, fft=fft, parallel=parallel,
+                    result=result,
+                )
         return EnsembleResult(base_config=base, sweep=sweep, runs=records)
 
     pool: Executor
@@ -641,9 +732,7 @@ def run_ensemble(
                 _finish(record, 0.0, exc=proto)
                 continue
             if mode == "thread":
-                fut = pool.submit(
-                    _execute_sim, _derive_from(proto, v.config), False
-                )
+                fut = pool.submit(_execute_sim, _derive_from(proto, v.config))
             else:
                 fut = pool.submit(_execute_variant_json, v.config.to_json(), proto._gs)
             futures[fut] = record
@@ -655,9 +744,12 @@ def run_ensemble(
                 _finish(record, 0.0, exc=exc)
             else:
                 if mode == "thread":
-                    arrays, fft, result, elapsed = out
+                    arrays, fft, parallel, result, elapsed = out
                 else:
-                    (arrays, fft, elapsed), result = out, None
-                _finish(record, elapsed, arrays=arrays, fft=fft, result=result)
+                    (arrays, fft, parallel, elapsed), result = out, None
+                _finish(
+                    record, elapsed, arrays=arrays, fft=fft, parallel=parallel,
+                    result=result,
+                )
 
     return EnsembleResult(base_config=base, sweep=sweep, runs=records)

@@ -26,10 +26,12 @@ import numpy as np
 from repro.api.checkpoint import load_checkpoint, save_checkpoint
 from repro.api.config import ConfigError, SimulationConfig, check_config_matches
 from repro.api.registry import CELLS, FIELDS, FUNCTIONALS, PROPAGATORS
-from repro.backend import Backend, FFTCounters, make_backend
+from repro.backend import Backend, CountingBackend, FFTCounters, make_backend
 from repro.constants import AU_PER_ATTOSECOND
 from repro.grid.fftgrid import PlaneWaveGrid
 from repro.hamiltonian.hamiltonian import Hamiltonian
+from repro.parallel.context import ParallelContext, ParallelRunInfo
+from repro.parallel.ledger import CostLedger
 from repro.rt.propagator import PropagationRecord, TDState
 from repro.scf.groundstate import GroundState, run_scf
 
@@ -52,9 +54,14 @@ class SimulationResult:
     final_state: TDState
     ground_state: Optional[GroundState] = None
     #: FFT tally of the propagate() call that produced this result,
-    #: including a lazily-triggered SCF (None when the backend is
-    #: uncounted); in-memory only — not persisted by save_npz
+    #: including a lazily-triggered SCF and any distributed-exchange
+    #: rank work (None when the backend is uncounted); in-memory only —
+    #: not persisted by save_npz
     fft: Optional[FFTCounters] = None
+    #: communication accounting of the propagate() call when the
+    #: ``[parallel]`` section is active (None on the serial path);
+    #: persisted by save_npz as a ``parallel_json`` block
+    parallel: Optional[ParallelRunInfo] = None
 
     def observables(self) -> Dict[str, np.ndarray]:
         """The recorded series as plain arrays (keys: times, dipole, ...)."""
@@ -68,6 +75,8 @@ class SimulationResult:
         enforce that the file belongs to an expected config.
         """
         path = Path(path)
+        import json as _json
+
         payload: Dict[str, Any] = {
             "result_version": np.int64(RESULT_VERSION),
             "config_json": np.str_(self.config.to_json()),
@@ -75,6 +84,10 @@ class SimulationResult:
             "final_sigma": np.asarray(self.final_state.sigma, dtype=complex),
             "final_time": np.float64(self.final_state.time),
         }
+        if self.parallel is not None:
+            payload["parallel_json"] = np.str_(
+                _json.dumps(self.parallel.to_dict(), sort_keys=True)
+            )
         for key, arr in self.observables().items():
             payload[key] = arr
         np.savez(path, **payload)
@@ -102,9 +115,27 @@ class SimulationResult:
                 )
             config = SimulationConfig.from_json(str(data["config_json"]))
             check_config_matches(config, expected_config, path, "result")
-            skip = ("config_json", "result_version")
+            skip = ("config_json", "result_version", "parallel_json")
             arrays = {k: np.array(data[k]) for k in data.files if k not in skip}
         return config, arrays
+
+    @staticmethod
+    def load_parallel_npz(path) -> Optional[ParallelRunInfo]:
+        """The ``parallel`` block of a :meth:`save_npz` file (or ``None``).
+
+        Round-trips the run's communication accounting — rank/pattern/
+        machine settings plus the per-category :class:`CostLedger`
+        aggregates — separately from the observable arrays.
+        """
+        import json as _json
+
+        path = Path(path)
+        with np.load(path, allow_pickle=False) as data:
+            if "config_json" not in data:
+                raise ConfigError(f"{path} is not a repro result file (missing config_json)")
+            if "parallel_json" not in data:
+                return None
+            return ParallelRunInfo.from_dict(_json.loads(str(data["parallel_json"])))
 
     def summary(self) -> str:
         """Human-readable observable table (what the CLI and examples print)."""
@@ -121,6 +152,8 @@ class SimulationResult:
                 f"{r.particle_number[i]:10.6f} "
                 f"{stats.outer_iterations:>5}/{stats.scf_iterations:<5}"
             )
+        if self.parallel is not None:
+            lines.extend(self.parallel.summary_lines())
         return "\n".join(lines)
 
 
@@ -144,6 +177,7 @@ class Simulation:
         config: ConfigLike,
         ground_state: Optional[GroundState] = None,
         state: Optional[TDState] = None,
+        parallel_ledger: Optional[CostLedger] = None,
     ) -> None:
         if isinstance(config, SimulationConfig):
             self.config = config
@@ -160,6 +194,9 @@ class Simulation:
         self._ham: Optional[Hamiltonian] = None
         self._gs = ground_state
         self._state = state
+        self._parallel: Optional[ParallelContext] = None
+        #: checkpointed communication tally a resumed run continues from
+        self._parallel_ledger_seed = parallel_ledger
 
     # -- constructors --------------------------------------------------------
     @classmethod
@@ -173,9 +210,20 @@ class Simulation:
 
     @classmethod
     def resume(cls, path) -> "Simulation":
-        """Reload a checkpoint and continue the trajectory from it."""
+        """Reload a checkpoint and continue the trajectory from it.
+
+        When the checkpointed run was parallel, its cumulative
+        communication ledger seeds the resumed context, so the
+        accounting — like the trajectory — continues instead of
+        restarting.
+        """
         ckpt = load_checkpoint(path)
-        return cls(ckpt.config, ground_state=ckpt.ground_state, state=ckpt.state)
+        return cls(
+            ckpt.config,
+            ground_state=ckpt.ground_state,
+            state=ckpt.state,
+            parallel_ledger=ckpt.parallel_ledger,
+        )
 
     def derive(self, **sections) -> "Simulation":
         """A new simulation with config sections changed, sharing caches.
@@ -235,9 +283,63 @@ class Simulation:
         return self._grid
 
     def fft_counters(self) -> Optional[FFTCounters]:
-        """Cumulative FFT tally of this simulation's backend (or ``None``)."""
+        """Cumulative FFT tally of this simulation (or ``None``).
+
+        Merges the main backend counters with the distributed-exchange
+        rank views when the ``[parallel]`` section is active.
+        """
         counters = self.backend.counters
-        return counters.snapshot() if counters is not None else None
+        total = counters.snapshot() if counters is not None else None
+        ctx = self.parallel
+        rank_total = ctx.fft_totals() if ctx is not None else None
+        if rank_total is not None:
+            if total is None:
+                total = FFTCounters()
+            total.merge(rank_total)
+        return total
+
+    # -- parallel execution ---------------------------------------------------
+    @property
+    def parallel(self) -> Optional[ParallelContext]:
+        """The simulated-MPI context (``None`` when ``[parallel]`` is
+        inactive).  Owns the cumulative :class:`CostLedger` and the
+        rank-scoped FFT-counter views."""
+        cfg = self.config.parallel
+        if not cfg.active:
+            return None
+        if self._parallel is None:
+            self._parallel = ParallelContext(
+                nranks=cfg.ranks,
+                pattern=cfg.pattern,
+                machine=cfg.machine,
+                use_shm=cfg.use_shm,
+                ledger=self._parallel_ledger_seed,
+            )
+        return self._parallel
+
+    def isolate_counters(self) -> "Simulation":
+        """Re-scope this simulation's FFT tallies onto a private counter view.
+
+        Used by the ensemble engine on cache-sharing derived variants:
+        the view shares the parent's engine (plan cache, numerics
+        bit-for-bit) but owns fresh :class:`FFTCounters`, so concurrent
+        thread-scheduled runs each report an exact per-run tally instead
+        of sharing — and corrupting — one counter set.  Must be called
+        before any compute on this simulation; returns ``self``.
+        """
+        backend = self._backend
+        if not isinstance(backend, CountingBackend):
+            return self
+        view = backend.view()
+        self._backend = view
+        if self._grid is not None:
+            import copy as _copy
+
+            grid = _copy.copy(self._grid)
+            grid.backend = view
+            self._grid = grid
+        self._ham = None  # rebuilt lazily on the re-scoped grid
+        return self
 
     @property
     def functional(self):
@@ -255,12 +357,14 @@ class Simulation:
     def hamiltonian(self) -> Hamiltonian:
         if self._ham is None:
             sys = self.config.system
+            ctx = self.parallel
             self._ham = Hamiltonian(
                 self.grid,
                 self.functional,
                 field=self.field,
                 degeneracy=sys.degeneracy,
                 fock_batch_size=sys.fock_batch_size,
+                fock_factory=ctx.fock_operator if ctx is not None else None,
             )
         return self._ham
 
@@ -315,8 +419,13 @@ class Simulation:
             raise ConfigError(f"dt_as must be positive, got {dt_as}")
 
         propagator = self.build_propagator()
+        ctx = self.parallel
         counters = self.backend.counters
         before = counters.snapshot() if counters is not None else None
+        # the propagator build above materialized the Hamiltonian, so the
+        # rank views (when parallel) exist for a coherent before-snapshot
+        rank_before = ctx.fft_totals() if ctx is not None else None
+        ledger_mark = ctx.ledger.mark() if ctx is not None else 0
         final = propagator.propagate(
             self.state,
             dt=dt_as * AU_PER_ATTOSECOND,
@@ -324,12 +433,23 @@ class Simulation:
             observe_every=observe_every,
         )
         self._state = final
+        fft = counters.since(before) if counters is not None else None
+        if ctx is not None:
+            rank_after = ctx.fft_totals()
+            if rank_after is not None:
+                rank_delta = (
+                    rank_after.since(rank_before) if rank_before is not None else rank_after
+                )
+                if fft is None:
+                    fft = FFTCounters()
+                fft.merge(rank_delta)
         return SimulationResult(
             config=self.config,
             record=propagator.record,
             final_state=final,
             ground_state=self._gs,
-            fft=counters.since(before) if counters is not None else None,
+            fft=fft,
+            parallel=ctx.run_info(ledger_mark) if ctx is not None else None,
         )
 
     def run(self) -> SimulationResult:
@@ -339,5 +459,14 @@ class Simulation:
 
     # -- checkpointing --------------------------------------------------------
     def save_checkpoint(self, path) -> Path:
-        """Snapshot state + config (+ ground state) to one ``.npz``."""
-        return save_checkpoint(path, self.config, self.state, self._gs)
+        """Snapshot state + config (+ ground state, + comm ledger) to one
+        ``.npz``.  Parallel runs persist their cumulative communication
+        tally so a resumed trajectory keeps accounting where it left off."""
+        ctx = self.parallel
+        return save_checkpoint(
+            path,
+            self.config,
+            self.state,
+            self._gs,
+            parallel_ledger=ctx.ledger if ctx is not None else None,
+        )

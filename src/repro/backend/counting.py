@@ -39,6 +39,17 @@ class CountingBackend(Backend):
     def describe(self) -> str:
         return f"{self.inner.describe()} + counters"
 
+    def view(self) -> "CountingBackend":
+        """A new counter scope over the *same* inner engine.
+
+        The view shares the inner backend's plan and scratch caches (and
+        therefore its numerics bit-for-bit) but owns fresh
+        :class:`FFTCounters` — how per-rank tallies in the simulated-MPI
+        substrate and per-variant tallies in thread-scheduled ensembles
+        stay exact without duplicating engine state.
+        """
+        return CountingBackend(self.inner)
+
     # -- delegation ----------------------------------------------------------
     def empty(self, shape, dtype=np.complex128) -> np.ndarray:
         return self.inner.empty(shape, dtype=dtype)

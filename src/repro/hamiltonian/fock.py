@@ -26,13 +26,44 @@ fraction alpha (applied by the Hamiltonian).
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional, Protocol, Tuple, runtime_checkable
 
 import numpy as np
 
 from repro.grid.fftgrid import PlaneWaveGrid
 from repro.occupation.sigma import diagonalize_sigma, hermitize, rotate_orbitals
 from repro.utils.validation import check_square, require
+
+
+@runtime_checkable
+class FockOperatorLike(Protocol):
+    """What the Hamiltonian, SCF loop and propagators require of an
+    exchange operator — satisfied by :class:`FockExchangeOperator` and by
+    :class:`~repro.parallel.distfock.DistributedFockExchange`, so the two
+    substitute behind one seam (``Hamiltonian(fock_factory=...)``)."""
+
+    batch_size: int
+    kernel_g: np.ndarray
+
+    def apply_diag(
+        self, phi_src: np.ndarray, weights: np.ndarray, targets: np.ndarray, *, bandbyband: bool = False
+    ) -> np.ndarray: ...
+
+    def apply_mixed_tripleloop(
+        self, phi: np.ndarray, sigma: np.ndarray, targets: Optional[np.ndarray] = None
+    ) -> np.ndarray: ...
+
+    def apply_mixed_via_diagonalization(
+        self, phi: np.ndarray, sigma: np.ndarray, targets: Optional[np.ndarray] = None
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]: ...
+
+    def exchange_energy(
+        self,
+        phi: np.ndarray,
+        sigma: np.ndarray,
+        degeneracy: float = 1.0,
+        vx_phi: Optional[np.ndarray] = None,
+    ) -> float: ...
 
 
 class FockExchangeOperator:

@@ -56,6 +56,7 @@ class Hamiltonian:
         field=None,
         degeneracy: float = SPIN_DEGENERACY,
         fock_batch_size: int = 16,
+        fock_factory=None,
     ) -> None:
         self.grid = grid
         self.cell = grid.cell
@@ -67,7 +68,11 @@ class Hamiltonian:
         self.nonlocal_pseudo = NonlocalPseudopotential(grid)
         self.kinetic = KineticOperator(grid)
         if functional.is_hybrid:
-            self.fock = FockExchangeOperator(grid, functional.kernel(grid), fock_batch_size)
+            # ``fock_factory`` (grid, kernel_g, batch_size) -> operator lets
+            # callers substitute any FockOperatorLike — e.g. the band-parallel
+            # DistributedFockExchange — behind the same protocol
+            factory = FockExchangeOperator if fock_factory is None else fock_factory
+            self.fock = factory(grid, functional.kernel(grid), fock_batch_size)
         else:
             self.fock = None
 

@@ -106,6 +106,31 @@ class SimComm:
         self.ledger.add("allgatherv", total_bytes, t)
         return [gathered.copy() for _ in range(self.nranks)]
 
+    # -- accounting-only charges ------------------------------------------------
+    # The distributed algorithms in this package leave some exchanges
+    # implicit: N x N matrices (sigma, overlap blocks) are replicated and
+    # assembled by serial numpy, and gathered results feed serial
+    # consumers.  These helpers charge the modeled time such an exchange
+    # would cost on the machine — data movement already happened through
+    # the replicated arrays, so only the ledger is touched.
+
+    def charge_allreduce(self, nbytes: float, participants: Optional[int] = None) -> float:
+        """Charge one allreduce of ``nbytes``; returns the modeled seconds.
+
+        ``participants`` < nranks models the SHM optimization (one rank
+        per node joins the reduction, Sec. IV-B3).
+        """
+        p = self.nranks if participants is None else max(int(participants), 1)
+        t = self.machine.allreduce_time(float(nbytes), p)
+        self.ledger.add("allreduce", float(nbytes), t)
+        return t
+
+    def charge_allgatherv(self, nbytes_total: float) -> float:
+        """Charge one allgatherv of ``nbytes_total`` distributed bytes."""
+        t = self.machine.allgatherv_time(float(nbytes_total), self.nranks)
+        self.ledger.add("allgatherv", float(nbytes_total), t)
+        return t
+
     def alltoallv_blocks(self, blocks: Sequence[Sequence[np.ndarray]]) -> List[List[np.ndarray]]:
         """Full exchange: ``blocks[r][s]`` goes from rank r to rank s.
 

@@ -1,0 +1,195 @@
+"""Execution context binding one simulation to the simulated-MPI substrate.
+
+:class:`ParallelContext` is what the :class:`~repro.api.simulation.
+Simulation` facade builds from its ``[parallel]`` config section: one
+:class:`~repro.parallel.comm.SimComm` (machine model + cost ledger),
+rank-scoped FFT-counter views over the simulation's backend, and the
+:class:`~repro.parallel.distfock.DistributedFockExchange` factory the
+Hamiltonian substitutes for the serial operator.  :class:`ParallelRunInfo`
+is the JSON-safe record of one run's communication accounting — the
+``parallel`` block carried by results, checkpoints and ensemble records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.backend import Backend, FFTCounters
+from repro.parallel.comm import SimComm
+from repro.parallel.distfock import (
+    PATTERNS,
+    DistributedFockExchange,
+    merge_counters,
+    merged_rank_counters,
+    rank_counter_views,
+)
+from repro.parallel.ledger import CostLedger
+from repro.parallel.machine import MachineSpec, machine_by_name
+from repro.utils.validation import require
+
+
+@dataclass
+class ParallelRunInfo:
+    """Communication accounting of one run under a ``[parallel]`` section.
+
+    ``ledger`` holds the modeled MPI time of *this run* (a delta, not
+    the context's cumulative tally); ``fft_rank_transforms`` is the
+    per-rank 3-D transform count of the distributed exchange work —
+    the load-balance view the per-category seconds cannot show.
+    """
+
+    ranks: int
+    pattern: str
+    machine: str
+    use_shm: bool
+    nodes: int
+    ledger: CostLedger = field(default_factory=CostLedger)
+    fft_rank_transforms: Optional[List[int]] = None
+
+    def total_comm_seconds(self) -> float:
+        return self.ledger.total_seconds()
+
+    # -- JSON-safe IO --------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "ranks": int(self.ranks),
+            "pattern": self.pattern,
+            "machine": self.machine,
+            "use_shm": bool(self.use_shm),
+            "nodes": int(self.nodes),
+            "ledger": self.ledger.to_dict(),
+        }
+        if self.fft_rank_transforms is not None:
+            out["fft_rank_transforms"] = [int(n) for n in self.fft_rank_transforms]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ParallelRunInfo":
+        ranks = data.get("fft_rank_transforms")
+        return cls(
+            ranks=int(data["ranks"]),
+            pattern=str(data["pattern"]),
+            machine=str(data["machine"]),
+            use_shm=bool(data["use_shm"]),
+            nodes=int(data["nodes"]),
+            ledger=CostLedger.from_dict(dict(data.get("ledger", {}))),
+            fft_rank_transforms=None if ranks is None else [int(n) for n in ranks],
+        )
+
+    def summary_lines(self) -> List[str]:
+        """The ``parallel`` block of ``SimulationResult.summary()``."""
+        shm = "on" if self.use_shm else "off"
+        lines = [
+            f"parallel: ranks={self.ranks} pattern={self.pattern} "
+            f"machine={self.machine} nodes={self.nodes} shm={shm}"
+        ]
+        seconds = self.ledger.seconds_by_category()
+        cells = "  ".join(
+            f"{cat} {seconds[cat]:.3e}" for cat in seconds if seconds[cat] > 0.0
+        )
+        lines.append(
+            f"  comm (modeled s): {cells or '(none)'}  | total {self.total_comm_seconds():.3e}"
+        )
+        if self.fft_rank_transforms:
+            lines.append(
+                "  exchange FFTs by rank: "
+                + " ".join(str(n) for n in self.fft_rank_transforms)
+            )
+        return lines
+
+
+class ParallelContext:
+    """One simulation's simulated-MPI execution state.
+
+    Owns the communicator (and through it the cumulative
+    :class:`CostLedger`), lazily materializes the rank-scoped backend
+    views when the Hamiltonian requests its exchange operator, and cuts
+    per-run :class:`ParallelRunInfo` deltas for results.
+    """
+
+    def __init__(
+        self,
+        nranks: int,
+        pattern: str,
+        machine: "MachineSpec | str",
+        use_shm: bool = True,
+        ledger: Optional[CostLedger] = None,
+    ) -> None:
+        require(nranks >= 1, "need at least one rank")
+        require(pattern in PATTERNS, f"unknown pattern {pattern!r}; use one of {PATTERNS}")
+        self.machine = machine_by_name(machine) if isinstance(machine, str) else machine
+        self.pattern = pattern
+        self.use_shm = bool(use_shm)
+        self.ledger = ledger if ledger is not None else CostLedger()
+        self.comm = SimComm(nranks, self.machine, self.ledger)
+        #: where this session's records start — everything before is the
+        #: checkpoint-seeded history of a resumed run
+        self.session_mark = self.ledger.mark()
+        self._rank_backends: Optional[List[Backend]] = None
+
+    @property
+    def nranks(self) -> int:
+        return self.comm.nranks
+
+    @property
+    def nodes(self) -> int:
+        return self.machine.nodes(self.nranks)
+
+    # -- rank backends ---------------------------------------------------------
+    def rank_backends(self, backend: Backend) -> List[Backend]:
+        """The per-rank counter views (created once, then reused so the
+        cumulative tallies survive Hamiltonian rebuilds)."""
+        if self._rank_backends is None:
+            self._rank_backends = rank_counter_views(backend, self.nranks)
+        return self._rank_backends
+
+    def fock_operator(self, grid, kernel_g: np.ndarray, batch_size: int) -> DistributedFockExchange:
+        """The distributed exchange executor the Hamiltonian plugs in."""
+        return DistributedFockExchange(
+            grid,
+            kernel_g,
+            self.comm,
+            pattern=self.pattern,
+            batch_size=batch_size,
+            use_shm=self.use_shm,
+            rank_backends=self.rank_backends(grid.backend),
+        )
+
+    # -- FFT accounting --------------------------------------------------------
+    def fft_by_rank(self) -> Optional[List[FFTCounters]]:
+        """Per-rank exchange-FFT tallies (``None`` when uncounted or no
+        distributed work has been built yet)."""
+        if self._rank_backends is None:
+            return None
+        return merged_rank_counters(self._rank_backends)
+
+    def fft_totals(self) -> Optional[FFTCounters]:
+        """Merged rank tallies (``None`` when uncounted)."""
+        per_rank = self.fft_by_rank()
+        return None if per_rank is None else merge_counters(per_rank)
+
+    def session_ledger(self) -> CostLedger:
+        """Only the records charged in *this* session (a resumed run's
+        checkpoint-seeded history excluded) — the window matching this
+        process's FFT counters."""
+        return self.ledger.since_mark(self.session_mark)
+
+    # -- run records -----------------------------------------------------------
+    def run_info(self, ledger_mark: int) -> ParallelRunInfo:
+        """A :class:`ParallelRunInfo` for everything since ``ledger_mark``
+        (see :meth:`~repro.parallel.ledger.CostLedger.mark`)."""
+        per_rank = self.fft_by_rank()
+        return ParallelRunInfo(
+            ranks=self.nranks,
+            pattern=self.pattern,
+            machine=self.machine.name,
+            use_shm=self.use_shm,
+            nodes=self.nodes,
+            ledger=self.ledger.since_mark(ledger_mark),
+            fft_rank_transforms=(
+                None if per_rank is None else [c.transforms for c in per_rank]
+            ),
+        )

@@ -14,46 +14,160 @@ Fig. 5 are implemented *for real* on the shards:
     FFT work on the block already in hand; only the excess communication
     time is charged as MPI_Wait (Fig. 5(c)).
 
-All three produce bit-identical results (and identical to the serial
-:class:`~repro.hamiltonian.fock.FockExchangeOperator`); they differ only
-in what the ledger records — which is the entire point of Sec. IV-B.
+All three produce *bit-identical* results — to each other, at every rank
+count, and to the serial
+:class:`~repro.hamiltonian.fock.FockExchangeOperator`; they differ only
+in what the ledger records, which is the entire point of Sec. IV-B.  Two
+design rules make that exactness hold:
+
+* every rank's source bands genuinely arrive through the schedule (the
+  blocks are reassembled from the communicated copies, in band order),
+  but the local kernel then runs the *serial* operator on the rank's
+  target shard with the full source set — identical batch boundaries and
+  summation order, so the gathered rows are bitwise the serial rows;
+* each rank executes its FFTs through a rank-scoped
+  :class:`~repro.backend.counting.CountingBackend` view (fresh counters,
+  shared plan cache and engine), so per-rank tallies are exact and their
+  merge equals the serial transform count — nothing is double-counted
+  into the shared grid backend.
+
+The class is a drop-in protocol twin of ``FockExchangeOperator``
+(``apply_diag`` / ``apply_mixed_*`` / ``exchange_energy``), which is how
+:class:`~repro.hamiltonian.hamiltonian.Hamiltonian` substitutes it
+behind every SCF loop and RT propagator.
 """
 
 from __future__ import annotations
 
-from typing import List, Literal, Tuple
+import copy
+from typing import List, Literal, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.backend import Backend, CountingBackend, FFTCounters
 from repro.grid.fftgrid import PlaneWaveGrid
 from repro.hamiltonian.fock import FockExchangeOperator
+from repro.occupation.sigma import diagonalize_sigma, hermitize, rotate_orbitals
 from repro.parallel.comm import SimComm
 from repro.parallel.layouts import BandLayout
 from repro.utils.validation import require
 
 Pattern = Literal["bcast", "ring", "async-ring"]
 
+PATTERNS: Tuple[str, ...] = ("bcast", "ring", "async-ring")
+
+COMPLEX_BYTES = 16.0
+
+
+def rank_counter_views(backend: Backend, nranks: int) -> List[Backend]:
+    """One counter scope per rank over a shared engine.
+
+    For a counting backend each view is
+    :meth:`~repro.backend.counting.CountingBackend.view` — own
+    :class:`~repro.backend.FFTCounters`, shared inner engine.  For an
+    uncounted backend the engine itself is reused (there is nothing to
+    scope).
+    """
+    if isinstance(backend, CountingBackend):
+        return [backend.view() for _ in range(nranks)]
+    return [backend for _ in range(nranks)]
+
+
+def merged_rank_counters(backends: Sequence[Backend]) -> Optional[List[FFTCounters]]:
+    """The per-rank :class:`FFTCounters` list, or ``None`` when uncounted."""
+    counters = [b.counters for b in backends]
+    if any(c is None for c in counters):
+        return None
+    return counters
+
+
+def merge_counters(counters: Sequence[FFTCounters]) -> FFTCounters:
+    """Sum a list of tallies into one fresh :class:`FFTCounters`."""
+    total = FFTCounters()
+    for c in counters:
+        total.merge(c)
+    return total
+
 
 class DistributedFockExchange:
-    """Band-parallel screened-exchange executor over a :class:`SimComm`."""
+    """Band-parallel screened-exchange executor over a :class:`SimComm`.
 
-    def __init__(self, grid: PlaneWaveGrid, kernel_g: np.ndarray, comm: SimComm) -> None:
+    Parameters
+    ----------
+    grid:
+        The (serial) plane-wave grid; per-rank FFTs run on shallow grid
+        facades re-pointed at rank-scoped backend views.
+    kernel_g:
+        Flat G-space interaction kernel (as for the serial operator).
+    comm:
+        Simulated communicator carrying the machine model and ledger.
+    pattern:
+        Default communication schedule (``apply*`` calls may override).
+    batch_size:
+        Pair-density FFT batch size, forwarded to the per-rank serial
+        operators.
+    use_shm:
+        Model node-shared N x N matrices (Sec. IV-B3): replicated-matrix
+        allreduces are charged with one participant per *node* instead
+        of one per rank.
+    """
+
+    def __init__(
+        self,
+        grid: PlaneWaveGrid,
+        kernel_g: np.ndarray,
+        comm: SimComm,
+        pattern: Pattern = "ring",
+        batch_size: int = 16,
+        use_shm: bool = False,
+        rank_backends: Optional[Sequence[Backend]] = None,
+    ) -> None:
+        require(pattern in PATTERNS, f"unknown pattern {pattern!r}; use one of {PATTERNS}")
         self.grid = grid
         self.comm = comm
-        self.fock = FockExchangeOperator(grid, kernel_g)
+        self.pattern = pattern
+        self.batch_size = int(batch_size)
+        self.use_shm = bool(use_shm)
+        self.kernel_g = np.asarray(kernel_g, dtype=float)
+        if rank_backends is None:
+            rank_backends = rank_counter_views(grid.backend, comm.nranks)
+        require(
+            len(rank_backends) == comm.nranks,
+            f"need {comm.nranks} rank backends, got {len(rank_backends)}",
+        )
+        self.rank_backends = list(rank_backends)
+        self._rank_focks = []
+        for backend in self.rank_backends:
+            rank_grid = copy.copy(grid)
+            rank_grid.backend = backend
+            self._rank_focks.append(
+                FockExchangeOperator(rank_grid, self.kernel_g, self.batch_size)
+            )
 
-    # -- local kernel -------------------------------------------------------
-    def _accumulate_block(
-        self,
-        src_block: np.ndarray,
-        src_weights: np.ndarray,
-        targets: np.ndarray,
-        acc: np.ndarray,
-    ) -> None:
-        """Add this source block's contribution to the local targets."""
-        if src_block.shape[0] == 0 or targets.shape[0] == 0:
-            return
-        acc += self.fock.apply_diag(src_block, src_weights, targets)
+    # -- bookkeeping -----------------------------------------------------------
+    @property
+    def ledger(self):
+        """The communication :class:`~repro.parallel.ledger.CostLedger`."""
+        return self.comm.ledger
+
+    @property
+    def backend(self) -> Backend:
+        """The shared grid backend (protocol parity with the serial op)."""
+        return self.grid.backend
+
+    def fft_by_rank(self) -> Optional[List[FFTCounters]]:
+        """Per-rank FFT tallies (``None`` when the engine is uncounted)."""
+        return merged_rank_counters(self.rank_backends)
+
+    def fft_totals(self) -> Optional[FFTCounters]:
+        """Merged FFT tally over all ranks (``None`` when uncounted)."""
+        per_rank = self.fft_by_rank()
+        return None if per_rank is None else merge_counters(per_rank)
+
+    def _allreduce_participants(self) -> int:
+        if not self.use_shm:
+            return self.comm.nranks
+        return self.comm.machine.nodes(self.comm.nranks)
 
     def _block_compute_seconds(self, n_src: int, n_tgt: int) -> float:
         """Modeled FFT time for one block's pair-density solves."""
@@ -62,60 +176,190 @@ class DistributedFockExchange:
         return self.comm.machine.fft_time(flops)
 
     # -- schedules ------------------------------------------------------------
+    def _collect_sources(
+        self,
+        arrays: Sequence[np.ndarray],
+        pattern: Pattern,
+        n_tgt_max: int,
+    ) -> List[List[np.ndarray]]:
+        """Move every source shard to every rank via ``pattern``.
+
+        ``arrays`` are band-leading serial arrays sharded identically
+        (orbitals + weights travel together).  Returns, per rank, each
+        array reassembled *from the communicated copies* in band order —
+        bitwise the serial input, but having genuinely ridden the
+        schedule (and charged the ledger for it).
+        """
+        p = self.comm.nranks
+        nbands = arrays[0].shape[0]
+        layout = BandLayout(nbands, self.grid.ngrid, p)
+        shard_sets = [layout.shard(np.asarray(a)) for a in arrays]
+        # collected[array][rank][owner] = that owner's block as seen by rank
+        collected: List[List[List[Optional[np.ndarray]]]] = [
+            [[None] * p for _ in range(p)] for _ in arrays
+        ]
+
+        if pattern == "bcast":
+            for root in range(p):
+                for a, shards in enumerate(shard_sets):
+                    blocks = self.comm.bcast(shards, root)
+                    for r in range(p):
+                        collected[a][r][root] = blocks[r]
+        elif pattern in ("ring", "async-ring"):
+            current = [[s.copy() for s in shards] for shards in shard_sets]
+            for step in range(p):
+                for a in range(len(arrays)):
+                    for r in range(p):
+                        collected[a][r][(r - step) % p] = current[a][r]
+                if step == p - 1:
+                    break
+                if pattern == "async-ring":
+                    # post the orbital transfer, then compute on the block
+                    # in hand; the tiny weight vectors ride synchronous
+                    # sendrecvs alongside
+                    comp = self._block_compute_seconds(
+                        max(b.shape[0] for b in current[0]), n_tgt_max
+                    )
+                    moved = [self.comm.ring_shift_async(current[0], comp)]
+                    moved.extend(self.comm.ring_shift(cur) for cur in current[1:])
+                else:
+                    moved = [self.comm.ring_shift(cur) for cur in current]
+                current = moved
+        else:
+            raise ValueError(f"unknown pattern {pattern!r}; use one of {PATTERNS}")
+
+        return [
+            [np.concatenate(collected[a][r], axis=0) for a in range(len(arrays))]
+            for r in range(p)
+        ]
+
+    def _gather(self, layout: BandLayout, shards: List[np.ndarray]) -> np.ndarray:
+        """Reassemble target shards, charging the allgatherv that hands
+        the sharded result back to the (serial) downstream consumers."""
+        out = layout.gather(shards)
+        self.comm.charge_allgatherv(float(out.nbytes))
+        return out
+
+    # -- pure-state / diagonalized form (Eq. (13)) -----------------------------
+    def apply_diag(
+        self,
+        phi_src: np.ndarray,
+        weights: np.ndarray,
+        targets: np.ndarray,
+        *,
+        bandbyband: bool = False,
+        pattern: Optional[Pattern] = None,
+    ) -> np.ndarray:
+        """Band-sharded ``V_x targets`` — serial-bitwise, schedule-charged.
+
+        ``phi_src``: (N_src, ngrid) diagonal-weight sources (post sigma
+        diagonalization); ``targets``: (N_tgt, ngrid).  Targets are
+        sharded across ranks; every source block reaches every rank via
+        the configured pattern; each rank runs the serial kernel on its
+        shard; the gathered result is returned.
+        """
+        weights = np.asarray(weights, dtype=float)
+        require(weights.shape == (phi_src.shape[0],), "one weight per source")
+        pattern = self.pattern if pattern is None else pattern
+        p = self.comm.nranks
+        tgt_layout = BandLayout(targets.shape[0], self.grid.ngrid, p)
+        tgt_shards = tgt_layout.shard(targets)
+        n_tgt_max = max(t.shape[0] for t in tgt_shards)
+        per_rank = self._collect_sources([phi_src, weights], pattern, n_tgt_max)
+        acc_shards = [
+            self._rank_focks[r].apply_diag(
+                per_rank[r][0], per_rank[r][1], tgt_shards[r], bandbyband=bandbyband
+            )
+            for r in range(p)
+        ]
+        return self._gather(tgt_layout, acc_shards)
+
     def apply(
         self,
         phi_src: np.ndarray,
         weights: np.ndarray,
         targets: np.ndarray,
-        pattern: Pattern = "ring",
+        pattern: Optional[Pattern] = None,
     ) -> np.ndarray:
-        """Evaluate ``V_x targets`` with the chosen communication schedule.
+        """Alias of :meth:`apply_diag` (the original executor entry)."""
+        return self.apply_diag(phi_src, weights, targets, pattern=pattern)
 
-        ``phi_src``: (N_src, ngrid) diagonal-weight sources (post sigma
-        diagonalization); ``targets``: (N_tgt, ngrid).  Returns the
-        gathered serial-identical result.
-        """
-        require(weights.shape == (phi_src.shape[0],), "one weight per source")
+    # -- mixed-state forms -----------------------------------------------------
+    def apply_mixed_tripleloop(
+        self, phi: np.ndarray, sigma: np.ndarray, targets: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Distributed Alg. 2 baseline: N^3 band-by-band FFTs, sharded targets."""
+        if targets is None:
+            targets = phi
+        pattern = self.pattern
         p = self.comm.nranks
-        src_layout = BandLayout(phi_src.shape[0], self.grid.ngrid, p)
         tgt_layout = BandLayout(targets.shape[0], self.grid.ngrid, p)
-        src_shards = src_layout.shard(phi_src)
-        w_shards = src_layout.shard(weights[:, None].astype(complex))
         tgt_shards = tgt_layout.shard(targets)
-        acc_shards = [np.zeros_like(t) for t in tgt_shards]
+        n_tgt_max = max(t.shape[0] for t in tgt_shards)
+        per_rank = self._collect_sources([phi], pattern, n_tgt_max)
+        out_shards = [
+            self._rank_focks[r].apply_mixed_tripleloop(
+                per_rank[r][0], sigma, targets=tgt_shards[r]
+            )
+            for r in range(p)
+        ]
+        return self._gather(tgt_layout, out_shards)
 
-        if pattern == "bcast":
-            for root in range(p):
-                blocks = self.comm.bcast(src_shards, root)
-                wts = self.comm.bcast(w_shards, root)
-                for r in range(p):
-                    self._accumulate_block(
-                        blocks[r], wts[r][:, 0].real, tgt_shards[r], acc_shards[r]
-                    )
-        elif pattern in ("ring", "async-ring"):
-            cur_src = [s.copy() for s in src_shards]
-            cur_w = [w.copy() for w in w_shards]
-            for step in range(p):
-                if pattern == "async-ring" and step < p - 1:
-                    # post the transfer, then compute on the block in hand;
-                    # the tiny weight vector rides a synchronous sendrecv
-                    comp = self._block_compute_seconds(
-                        max(b.shape[0] for b in cur_src),
-                        max(t.shape[0] for t in tgt_shards),
-                    )
-                    next_src = self.comm.ring_shift_async(cur_src, comp)
-                    next_w = self.comm.ring_shift(cur_w)
-                elif step < p - 1:
-                    next_src = self.comm.ring_shift(cur_src)
-                    next_w = self.comm.ring_shift(cur_w)
-                else:
-                    next_src, next_w = cur_src, cur_w
-                for r in range(p):
-                    self._accumulate_block(
-                        cur_src[r], cur_w[r][:, 0].real, tgt_shards[r], acc_shards[r]
-                    )
-                cur_src, cur_w = next_src, next_w
-        else:
-            raise ValueError(f"unknown pattern {pattern!r}")
+    def apply_mixed_grouped(
+        self, phi: np.ndarray, sigma: np.ndarray, targets: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Distributed N^2-FFT mixed-state reference (sharded targets)."""
+        if targets is None:
+            targets = phi
+        p = self.comm.nranks
+        tgt_layout = BandLayout(targets.shape[0], self.grid.ngrid, p)
+        tgt_shards = tgt_layout.shard(targets)
+        n_tgt_max = max(t.shape[0] for t in tgt_shards)
+        per_rank = self._collect_sources([phi], self.pattern, n_tgt_max)
+        out_shards = [
+            self._rank_focks[r].apply_mixed_grouped(
+                per_rank[r][0], sigma, targets=tgt_shards[r]
+            )
+            for r in range(p)
+        ]
+        return self._gather(tgt_layout, out_shards)
 
-        return tgt_layout.gather(acc_shards)
+    def apply_mixed_via_diagonalization(
+        self, phi: np.ndarray, sigma: np.ndarray, targets: Optional[np.ndarray] = None
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sec. IV-A1 pipeline on the distributed executor.
+
+        The sigma eigendecomposition operates on a replicated N x N
+        matrix — with ``use_shm`` only one rank per node joins its
+        assembly allreduce (Sec. IV-B3); the rotation and Eq. (13)
+        application are band-parallel.
+        """
+        n = phi.shape[0]
+        self.comm.charge_allreduce(
+            n * n * COMPLEX_BYTES, participants=self._allreduce_participants()
+        )
+        d, q = diagonalize_sigma(hermitize(sigma))
+        phi_t = rotate_orbitals(phi, q)
+        if targets is None:
+            targets = phi
+        vx = self.apply_diag(phi_t, d, targets)
+        return vx, d, q
+
+    # -- energy -----------------------------------------------------------------
+    def exchange_energy(
+        self,
+        phi: np.ndarray,
+        sigma: np.ndarray,
+        degeneracy: float = 1.0,
+        vx_phi: Optional[np.ndarray] = None,
+    ) -> float:
+        """``E_x = (deg/2) Re Tr[sigma (Phi | V_x Phi)]`` (no alpha factor)."""
+        if vx_phi is None:
+            vx_phi, _, _ = self.apply_mixed_via_diagonalization(phi, sigma)
+        n = phi.shape[0]
+        # the overlap block is assembled across band shards
+        self.comm.charge_allreduce(
+            n * n * COMPLEX_BYTES, participants=self._allreduce_participants()
+        )
+        overlap = self.grid.inner(phi, vx_phi)
+        return 0.5 * degeneracy * float(np.trace(sigma @ overlap).real)

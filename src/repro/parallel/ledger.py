@@ -8,7 +8,7 @@ Categories use the paper's Table I column names: ``alltoallv``,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 TABLE1_CATEGORIES = ("alltoallv", "sendrecv", "wait", "allgatherv", "allreduce", "bcast")
 
@@ -62,3 +62,62 @@ class CostLedger:
         row = self.seconds_by_category()
         row["total"] = self.total_seconds()
         return row
+
+    def table1_row(self, compute_seconds: Optional[float] = None) -> Dict[str, float]:
+        """A row consumable by :func:`repro.perf.experiments.format_table1`.
+
+        Per-category seconds plus ``total_comm`` and ``comm_ratio``;
+        ``compute_seconds`` (e.g. the modeled FFT time of the measured
+        transform tally) sets the denominator ``comm / (comm + compute)``.
+        Without it the ratio is reported as 1.0 — communication against
+        itself.
+        """
+        row = self.seconds_by_category()
+        total = self.total_seconds()
+        row["total_comm"] = total
+        denom = total + (compute_seconds or 0.0)
+        row["comm_ratio"] = (total / denom) if denom > 0.0 else 0.0
+        return row
+
+    # -- deltas (result/checkpoint accounting) -------------------------------
+    def mark(self) -> int:
+        """Position marker for :meth:`since_mark` (records only append)."""
+        return len(self.records)
+
+    def since_mark(self, mark: int) -> "CostLedger":
+        """New ledger holding copies of the records appended after ``mark``."""
+        return CostLedger(
+            records=[
+                CommRecord(r.category, r.nbytes, r.seconds, r.count)
+                for r in self.records[mark:]
+            ]
+        )
+
+    # -- JSON-safe IO (result .npz blocks, checkpoints) ----------------------
+    def to_dict(self) -> Dict[str, Dict[str, float]]:
+        """Aggregated per-category ``{seconds, nbytes, count}`` (JSON-safe).
+
+        Individual records are folded into one aggregate per category —
+        the Table-I quantities survive exactly; per-event granularity
+        (which no consumer reads back) does not.
+        """
+        out: Dict[str, Dict[str, float]] = {}
+        for r in self.records:
+            agg = out.setdefault(r.category, {"seconds": 0.0, "nbytes": 0.0, "count": 0})
+            agg["seconds"] += r.seconds
+            agg["nbytes"] += r.nbytes
+            agg["count"] += r.count
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Dict[str, float]]) -> "CostLedger":
+        """Rebuild (one aggregate record per category) from :meth:`to_dict`."""
+        ledger = cls()
+        for category, agg in data.items():
+            ledger.add(
+                category,
+                float(agg.get("nbytes", 0.0)),
+                float(agg.get("seconds", 0.0)),
+                count=int(agg.get("count", 1)),
+            )
+        return ledger

@@ -8,8 +8,12 @@ harness under ``benchmarks/`` prints them next to the paper values from
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
+import numpy as np
+
+from repro.backend import FFTCounters
+from repro.parallel.ledger import CostLedger
 from repro.parallel.machine import MachineSpec, machine_by_name
 from repro.perf.calibrate import (
     FIG9_NATOM,
@@ -114,14 +118,73 @@ def table1_communication(machine_name: str, natom: int = TABLE1_NATOM, nodes: in
     return {"machine": machine.name, "natom": natom, "nodes": nodes, "rows": rows}
 
 
+def modeled_fft_seconds(
+    counters: FFTCounters, machine: "MachineSpec | str", nranks: int = 1
+) -> float:
+    """Modeled per-rank compute time of a *measured* FFT tally.
+
+    Every executed 3-D transform in ``counters.by_shape`` is priced with
+    the machine's bandwidth-bound :meth:`~repro.parallel.machine.
+    MachineSpec.fft_box_time`; the total is divided by ``nranks`` because
+    the tally merges all ranks' work while Table I reports per-rank time.
+    """
+    machine = machine_by_name(machine) if isinstance(machine, str) else machine
+    total = sum(
+        count * machine.fft_box_time(int(np.prod(shape)))
+        for shape, count in counters.by_shape.items()
+    )
+    return total / max(int(nranks), 1)
+
+
+def measured_table1(
+    ledgers: Mapping[str, CostLedger],
+    machine: "MachineSpec | str",
+    natom: int,
+    nranks: int,
+    fft: Optional[Mapping[str, FFTCounters]] = None,
+) -> Dict:
+    """A Table-I result dict from *measured* run ledgers.
+
+    Same shape as :func:`table1_communication` — so
+    :func:`format_table1` renders executed communication accounting next
+    to the analytic model.  ``ledgers`` maps row labels (pattern or
+    variant names) to the :class:`CostLedger` each run charged; ``fft``
+    (optional, same keys) supplies the runs' measured FFT tallies so
+    ``comm_ratio`` is communication over modeled comm + compute rather
+    than communication over itself.
+    """
+    machine = machine_by_name(machine) if isinstance(machine, str) else machine
+    rows = {}
+    for label, ledger in ledgers.items():
+        compute = None
+        if fft is not None and fft.get(label) is not None:
+            compute = modeled_fft_seconds(fft[label], machine, nranks)
+        rows[label] = ledger.table1_row(compute_seconds=compute)
+    return {
+        "machine": machine.name,
+        "natom": int(natom),
+        "nodes": machine.nodes(int(nranks)),
+        "rows": rows,
+    }
+
+
 def format_table1(result: Dict) -> str:
-    """Render a Table-I-like text table."""
+    """Render a Table-I-like text table (model or measured rows)."""
     cols = ("alltoallv", "sendrecv", "wait", "allgatherv", "allreduce", "bcast", "total_comm", "comm_ratio")
-    header = f"{'variant':<8}" + "".join(f"{c:>12}" for c in cols)
+    header = f"{'variant':<12}" + "".join(f"{c:>12}" for c in cols)
     lines = [f"# {result['machine']} | {result['natom']} atoms | {result['nodes']} nodes", header]
     for variant, row in result["rows"].items():
-        cells = "".join(
-            f"{row[c] * (100.0 if c == 'comm_ratio' else 1.0):>12.2f}" for c in cols
-        )
-        lines.append(f"{variant:<8}" + cells)
+        # measured small-system ledgers are fractions of a millisecond;
+        # fall back to scientific notation where fixed-point would read 0.00
+        seconds = [row[c] for c in cols if c != "comm_ratio"]
+        small = 0.0 < max(abs(v) for v in seconds) < 0.05
+        cells = ""
+        for c in cols:
+            if c == "comm_ratio":
+                cells += f"{row[c] * 100.0:>12.2f}"
+            elif small:
+                cells += f"{row[c]:>12.2e}"
+            else:
+                cells += f"{row[c]:>12.2f}"
+        lines.append(f"{variant:<12}" + cells)
     return "\n".join(lines)

@@ -58,6 +58,9 @@ class GroundState:
     scf_iterations: int
     converged: bool
     history: List[float] = field(default_factory=list)
+    #: modeled MPI seconds the SCF charged to the distributed-exchange
+    #: ledger (0.0 on the serial path)
+    comm_seconds: float = 0.0
 
 
 def default_nbands(n_electrons: float, natom: int, extra_ratio: float = 0.5) -> int:
@@ -135,6 +138,11 @@ def run_scf(
     # unoccupied guard bands shield the physical block from slow
     # convergence of a degenerate cluster cut at the top
     nguard = max(2, nbands // 8)
+
+    # distributed exchange charges a communication ledger; the SCF's share
+    # is recorded on the returned ground state
+    ledger = getattr(ham.fock, "ledger", None)
+    ledger_mark = ledger.mark() if ledger is not None else 0
 
     rng = default_rng(opts.seed)
     if phi0 is not None and phi0.shape[0] >= nbands + nguard:
@@ -232,4 +240,7 @@ def run_scf(
         scf_iterations=n_iter,
         converged=converged,
         history=history,
+        comm_seconds=(
+            ledger.since_mark(ledger_mark).total_seconds() if ledger is not None else 0.0
+        ),
     )

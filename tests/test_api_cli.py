@@ -135,3 +135,35 @@ def test_shipped_quickstart_config_validates(capsys):
     assert '"propagator": "ptim_ace"' in out
     cfg2 = REPO_ROOT / "examples" / "configs" / "ci_smoke.toml"
     assert main(["validate", str(cfg2)]) == 0
+
+
+def test_shipped_parallel_configs_validate(capsys):
+    assert main(["validate", str(REPO_ROOT / "examples" / "configs" / "parallel_ring.toml")]) == 0
+    out = capsys.readouterr().out
+    assert '"pattern": "ring"' in out
+    sweep_cfg = REPO_ROOT / "examples" / "configs" / "parallel_pattern_sweep.toml"
+    assert main(["validate", str(sweep_cfg)]) == 0
+    assert "sweep: 3 runs over parallel.pattern" in capsys.readouterr().out
+
+
+def test_cli_validate_bad_parallel_section(tmp_path, capsys):
+    bad = tmp_path / "bad.toml"
+    bad.write_text('[parallel]\npattern = "gossip"\n')
+    assert main(["validate", str(bad)]) == 2
+    assert "parallel.pattern" in capsys.readouterr().err
+    bad.write_text('[parallel]\nmachine = "cray"\n')
+    assert main(["validate", str(bad)]) == 2
+    assert "parallel.machine" in capsys.readouterr().err
+
+
+def test_cli_run_parallel_flags_print_breakdown(capsys):
+    """`repro run --ranks 2 --pattern bcast` on the shipped distributed
+    config: flags override the section and the measured Table-I-style
+    breakdown is printed after the observable table."""
+    cfg = REPO_ROOT / "examples" / "configs" / "parallel_ring.toml"
+    assert main(["run", str(cfg), "--ranks", "2", "--pattern", "bcast", "--steps", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "parallel: 2 ranks | pattern bcast" in out
+    assert "parallel: ranks=2 pattern=bcast" in out  # result summary block
+    assert "measured communication breakdown" in out
+    assert "total_comm" in out and "bcast" in out

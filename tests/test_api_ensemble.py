@@ -258,10 +258,13 @@ def test_serial_runs_carry_fft_tallies(serial_run):
         assert r.fft is not None
         assert r.fft.transforms > 0 and r.fft.calls > 0
         assert set(r.fft.by_shape)  # grid shapes recorded
-    total = result.fft_totals()
+    coverage = result.fft_totals()
+    assert coverage.complete and coverage.n_reporting == len(result.runs)
+    total = coverage.totals
     assert total.transforms == sum(r.fft.transforms for r in result.runs)
     text = result.summary()
     assert f"FFTs: {total.transforms} transforms in {total.calls} calls" in text
+    assert "partial" not in text  # full coverage is not flagged
 
 
 def test_serial_matches_independent_simulations(serial_run):
@@ -321,10 +324,45 @@ def test_thread_pool_matches_serial(serial_run):
     np.testing.assert_allclose(
         result.stacked("dipole"), result_serial.stacked("dipole"), rtol=0.0, atol=1e-12
     )
-    # concurrent runs share one counting engine: no per-run tally is
-    # honest, a double-counted one is not
-    assert all(r.fft is None for r in result.runs)
-    assert result.fft_totals() is None
+    # concurrent runs share one engine but each computes through its own
+    # CountingBackend view, so every record carries an exact tally that
+    # matches the serial scheduler's
+    for got, ref in zip(result.runs, result_serial.runs):
+        assert got.fft is not None
+        assert got.fft == ref.fft
+    coverage = result.fft_totals()
+    assert coverage.complete
+    assert coverage.totals == result_serial.fft_totals().totals
+
+
+def test_derived_variants_share_engine_behind_private_counter_views():
+    """The isolate_counters mechanism must engage even for a prototype
+    that never computed in this process (the thread-pool path, where the
+    group SCF ran on a worker): variants get private counters over ONE
+    shared engine and plan cache, not engines of their own."""
+    from repro.api import Simulation
+    from repro.api.ensemble import _derive_from
+    from repro.backend import CountingBackend
+
+    base, _ = load_sweep_file(SWEEP_TOML)
+    proto = Simulation(base)  # no compute: backend/grid still unbuilt
+    a = _derive_from(proto, base)
+    b = _derive_from(proto, base.replace(propagation={"n_steps": 1}))
+    assert isinstance(a._backend, CountingBackend)
+    assert a._backend is not proto._backend  # private counter scope ...
+    assert a._backend.inner is proto._backend.inner  # ... shared engine
+    assert b._backend.inner is a._backend.inner
+    assert a._grid is not proto._grid and a._grid.gvec is proto._grid.gvec
+
+
+def test_fft_totals_flags_partial_coverage():
+    result = _fake_result(("ok", "ok"))
+    result.runs[1].fft = None  # e.g. an uncounted backend on one variant
+    coverage = result.fft_totals()
+    assert not coverage.complete
+    assert (coverage.n_reporting, coverage.n_runs) == (1, 2)
+    assert coverage.totals.transforms == result.runs[0].fft.transforms
+    assert "partial: 1/2 runs reporting" in result.summary()
 
 
 def test_per_run_failures_are_captured_not_fatal():
