@@ -9,7 +9,12 @@ that reference run isolates the kick-induced response.  In the linear
 regime the kick-normalized spectra then coincide; the printed spread
 quantifies the deviation from linearity.
 
-Run:  python examples/field_amplitude_sweep.py [n_steps]
+Pass a store directory to make the sweep durable: finished variants are
+appended to a result store as they complete, and re-running the script
+restores them instead of recomputing (kill it mid-sweep and run it
+again to watch the resume).
+
+Run:  python examples/field_amplitude_sweep.py [n_steps] [store_dir]
 """
 
 import sys
@@ -33,9 +38,11 @@ BASE = SimulationConfig.from_dict({
 SWEEP = SweepConfig.from_dict({"axes": {"field.params.kick": KICKS}})
 
 
-def main(n_steps: int = 8) -> None:
+def main(n_steps: int = 8, store_dir: str | None = None) -> None:
     base = BASE.replace(propagation={"n_steps": n_steps})
-    result = run_ensemble(base, SWEEP, progress=print)
+    # With a store, completed variants persist across invocations: a
+    # second run prints "restored from store" instead of repropagating.
+    result = run_ensemble(base, SWEEP, progress=print, store=store_dir)
     result.raise_on_failure()
 
     times = result.stacked("times")[0]
@@ -64,4 +71,7 @@ def main(n_steps: int = 8) -> None:
 
 
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 8)
+    main(
+        int(sys.argv[1]) if len(sys.argv) > 1 else 8,
+        sys.argv[2] if len(sys.argv) > 2 else None,
+    )

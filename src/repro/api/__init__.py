@@ -16,6 +16,7 @@ from repro.api.config import (
     FieldConfig,
     ParallelConfig,
     PropagationConfig,
+    ResultError,
     SCFConfig,
     SimulationConfig,
     SweepConfig,
@@ -46,12 +47,31 @@ from repro.api.registry import (
 )
 from repro.api.simulation import Simulation, SimulationResult
 
+#: re-exported lazily from :mod:`repro.store` — that package imports
+#: :mod:`repro.api.simulation` to materialize stored runs, so a module-
+#: level import here would re-enter a half-initialized ``repro.store``
+#: whenever ``import repro.store`` comes first
+_STORE_EXPORTS = ("ResultStore", "StoredRun", "StoreError")
+
+
+def __getattr__(name):
+    if name in _STORE_EXPORTS:
+        import repro.store as _store
+
+        return getattr(_store, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "Checkpoint",
     "load_checkpoint",
     "save_checkpoint",
     "BackendConfig",
     "ConfigError",
+    "ResultError",
+    "ResultStore",
+    "StoreError",
+    "StoredRun",
     "FieldConfig",
     "ParallelConfig",
     "PropagationConfig",

@@ -24,6 +24,7 @@ from repro.api.config import ConfigError, SimulationConfig, check_config_matches
 from repro.parallel.ledger import CostLedger
 from repro.rt.propagator import TDState
 from repro.scf.groundstate import GroundState
+from repro.utils.io import atomic_savez
 
 CHECKPOINT_VERSION = 1
 
@@ -65,8 +66,7 @@ def save_checkpoint(
         payload["parallel_ledger_json"] = np.str_(
             json.dumps(parallel_ledger.to_dict(), sort_keys=True)
         )
-    np.savez(path, **payload)
-    return path
+    return atomic_savez(path, **payload)
 
 
 def load_checkpoint(

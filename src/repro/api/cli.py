@@ -12,9 +12,14 @@ Commands
     execute it (``--workers``/``--scheduler``), or list the grid with
     ``--dry-run``; saves an ensemble ``.npz``.
 ``validate CONFIG``
-    Parse + validate a config and print its normalized JSON.
+    Parse + validate a config and print its normalized JSON (including
+    the ``[sweep] store`` target / ``--store`` path when given).
+``results ls|show|export STORE``
+    Query a result store's run index, materialize a stored run back
+    into a full result, or export it as a standalone ``.npz``.
 ``components``
-    List every registered cell / functional / field / propagator.
+    List every registered cell / functional / field / propagator /
+    store backend.
 ``perf``
     Print the paper-evaluation performance projection report.
 """
@@ -69,6 +74,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--output", default=None, metavar="NPZ", help="save observables + config")
     run.add_argument("--checkpoint", default=None, metavar="NPZ", help="save a restart checkpoint")
+    run.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="append the finished run to a result store (created if missing; "
+             "a cached group ground state in the store skips the SCF)",
+    )
     run.add_argument("--quiet", action="store_true", help="suppress the observable table")
 
     resume = sub.add_parser("resume", help="continue a checkpointed trajectory")
@@ -94,10 +104,55 @@ def _build_parser() -> argparse.ArgumentParser:
         "--output", default=None, metavar="NPZ",
         help="ensemble output path (default: sweep.output from the config)",
     )
+    sweep.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="append runs to a result store and resume from it: completed "
+             "variants are restored, interrupted/failed ones re-run "
+             "(default: sweep.store from the config)",
+    )
     sweep.add_argument("--quiet", action="store_true", help="suppress per-run progress lines")
 
     validate = sub.add_parser("validate", help="check a config file and print it normalized")
     validate.add_argument("config", help="path to a .toml or .json simulation config")
+    validate.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="also validate this result-store path (overrides sweep.store)",
+    )
+
+    results = sub.add_parser("results", help="query and export runs from a result store")
+    rsub = results.add_subparsers(dest="results_command", required=True)
+    res_ls = rsub.add_parser("ls", help="list stored runs (filterable)")
+    res_ls.add_argument("store", help="result-store directory")
+    res_ls.add_argument(
+        "--status", choices=("ok", "error", "running"), default=None,
+        help="only runs in this state",
+    )
+    res_ls.add_argument(
+        "--where", action="append", default=[], metavar="KEY=VALUE",
+        help="dotted config-key filter, e.g. field.params.kick=0.002 (repeatable)",
+    )
+    res_ls.add_argument(
+        "--since", default=None, metavar="WHEN",
+        help="only runs created at/after WHEN (ISO date or unix timestamp)",
+    )
+    res_ls.add_argument(
+        "--until", default=None, metavar="WHEN",
+        help="only runs created at/before WHEN (ISO date or unix timestamp)",
+    )
+    res_show = rsub.add_parser(
+        "show", help="materialize one stored run and print its summary"
+    )
+    res_show.add_argument("store", help="result-store directory")
+    res_show.add_argument("run_id", help="run id (see: repro results ls)")
+    res_show.add_argument(
+        "--config", action="store_true", help="also print the run's full config JSON"
+    )
+    res_export = rsub.add_parser(
+        "export", help="write a stored run as a standalone result .npz"
+    )
+    res_export.add_argument("store", help="result-store directory")
+    res_export.add_argument("run_id", help="run id (see: repro results ls)")
+    res_export.add_argument("output", metavar="NPZ", help="output path")
 
     sub.add_parser("components", help="list registered cells/functionals/fields/propagators")
 
@@ -175,6 +230,16 @@ def _cmd_run(args) -> int:
         base = base.replace(parallel=par_overrides)
     sim = Simulation(base)
     cfg = sim.config
+    store = None
+    if args.store:
+        from repro.store import ResultStore
+
+        store = ResultStore.ensure(args.store)
+        cached = store.load_ground_state(cfg)
+        if cached is not None:
+            sim._gs = cached
+            if not args.quiet:
+                print(f"ground state restored from store {store.root}")
     if not args.quiet:
         print(
             f"system: {cfg.system.cell} | ecut {cfg.system.ecut} Ha | "
@@ -198,7 +263,11 @@ def _cmd_run(args) -> int:
             f"propagating {n} x {cfg.propagation.dt_as:g} as with "
             f"{cfg.propagation.propagator} ..."
         )
-    result = sim.propagate(n_steps=args.steps)
+    result = sim.propagate(n_steps=args.steps, store=store)
+    if store is not None:
+        from repro.store import run_id_for
+
+        print(f"run {run_id_for(cfg)} stored in {store.root}")
     _finish(sim, result, args)
     return 0
 
@@ -240,8 +309,14 @@ def _cmd_sweep(args) -> int:
             print(f"{v.index:>4}  {v.label()}")
         return 0
 
+    store = args.store if args.store is not None else sweep.store
+    if store and not args.quiet:
+        print(f"store: {store} (completed variants restore instead of re-running)")
     progress = None if args.quiet else print
-    result = run_ensemble(base, sweep, workers=workers, scheduler=scheduler, progress=progress)
+    result = run_ensemble(
+        base, sweep, workers=workers, scheduler=scheduler, progress=progress,
+        store=store,
+    )
     print(result.summary())
     output = args.output if args.output is not None else sweep.output
     if output:
@@ -283,6 +358,122 @@ def _cmd_validate(args) -> int:
     print(cfg.to_json(indent=2))
     if sweep.axes:
         print(f"sweep: {sweep.n_runs} runs over {', '.join(sweep.axes)}")
+    store = args.store if args.store is not None else sweep.store
+    if store:
+        for line in _validate_store_path(store):
+            print(line)
+    return 0
+
+
+def _validate_store_path(path) -> List[str]:
+    """Validate a ``[store]`` target for ``repro validate``.
+
+    Unusable paths (not a directory, unrelated non-empty directory, no
+    write permission) raise :class:`ConfigError`; a store written by a
+    *newer* build is reported as printable warnings — the config itself
+    is fine, the study just is not readable until the code is upgraded.
+    """
+    import os
+
+    from repro.api.config import ConfigError
+    from repro.store import SCHEMA_VERSION
+    from repro.store.store import STORE_VERSION, store_schema_info
+
+    from pathlib import Path
+
+    p = Path(path)
+    if (p / "store.json").exists():
+        info = store_schema_info(p)
+        lines = [
+            f"store: {p} (backend {info['backend']}, "
+            f"schema {info['schema_version']})"
+        ]
+        if info["store_version"] > STORE_VERSION:
+            lines.append(
+                f"warning: store {p} has store_version {info['store_version']}, "
+                f"newer than this build's {STORE_VERSION}; upgrade repro to open it"
+            )
+        if (
+            info["schema_version"] is not None
+            and info["schema_version"] > SCHEMA_VERSION
+        ):
+            lines.append(
+                f"warning: store {p} has index schema {info['schema_version']}, "
+                f"newer than this build's {SCHEMA_VERSION}; its runs are not "
+                f"readable until repro is upgraded"
+            )
+        return lines
+    if p.exists():
+        if not p.is_dir():
+            raise ConfigError(f"store path {p} exists and is not a directory")
+        if any(p.iterdir()):
+            raise ConfigError(
+                f"store path {p} is a non-empty directory without store.json; "
+                f"refusing to adopt it as a result store"
+            )
+        if not os.access(p, os.W_OK):
+            raise ConfigError(f"store path {p} is not writable")
+        return [f"store: {p} (empty, will be initialized on first run)"]
+    ancestor = p.absolute()
+    while not ancestor.exists() and ancestor != ancestor.parent:
+        ancestor = ancestor.parent
+    if not ancestor.is_dir() or not os.access(ancestor, os.W_OK):
+        raise ConfigError(
+            f"store path {p} is not writable ({ancestor} denies write access)"
+        )
+    return [f"store: {p} (will be created under {ancestor})"]
+
+
+def _cmd_results(args) -> int:
+    from repro.store import ResultStore, parse_when, parse_where
+
+    store = ResultStore(args.store, create=False)
+    try:
+        if args.results_command == "ls":
+            runs = store.query(
+                status=args.status,
+                where=parse_where(args.where),
+                since=parse_when(args.since),
+                until=parse_when(args.until),
+            )
+            print(
+                f"{'run id':<14} {'status':<8} {'created (UTC)':<20} "
+                f"{'t (s)':>8} {'steps':>6}  overrides"
+            )
+            for run in runs:
+                note = f"  !! {run.error.splitlines()[-1]}" if run.error else ""
+                print(
+                    f"{run.run_id:<14} {run.status:<8} {run.created_iso():<20} "
+                    f"{run.elapsed:>8.2f} {run.n_times:>6}  {run.label()}{note}"
+                )
+            print(f"{len(runs)} run(s) in {store.root}")
+        elif args.results_command == "show":
+            run = store.get(args.run_id)
+            print(f"run {run.run_id} [{run.label()}]: {run.status}")
+            print(
+                f"  created {run.created_iso()} UTC | elapsed {run.elapsed:.2f} s "
+                f"| {run.n_times} observations in {run.n_chunks} chunk(s)"
+            )
+            print(f"  config hash {run.config_hash}")
+            if run.gs_address:
+                print(f"  ground-state blob {run.gs_address}")
+            if run.error:
+                print(f"  error: {run.error}")
+            if run.ok:
+                result = store.load_result(run.run_id)
+                print(result.summary())
+                if result.fft is not None:
+                    print(
+                        f"FFTs: {result.fft.transforms} transforms in "
+                        f"{result.fft.calls} calls"
+                    )
+            if args.config:
+                print(run.config.to_json(indent=2))
+        else:  # export
+            path = store.export(args.run_id, args.output)
+            print(f"run {args.run_id} exported to {path}")
+    finally:
+        store.close()
     return 0
 
 
@@ -305,6 +496,7 @@ _COMMANDS = {
     "resume": _cmd_resume,
     "sweep": _cmd_sweep,
     "validate": _cmd_validate,
+    "results": _cmd_results,
     "components": _cmd_components,
     "perf": _cmd_perf,
 }

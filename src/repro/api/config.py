@@ -27,6 +27,35 @@ class ConfigError(ValueError):
     """Invalid simulation config; the message names the bad key."""
 
 
+class ResultError(ConfigError):
+    """A result/ensemble file is missing, unreadable, or from a newer
+    format version; the message always names the offending path.
+
+    Subclasses :class:`ConfigError` so existing handlers (and the CLI's
+    ``ValueError`` net) keep working, while loaders can be precise."""
+
+
+def open_result_npz(path, kind: str):
+    """Open an ``.npz`` artifact with readable failure modes.
+
+    Missing files and corrupt/truncated archives raise
+    :class:`ResultError` naming the path and the artifact ``kind``
+    (``"result"``, ``"ensemble"``, ...) instead of surfacing raw
+    ``FileNotFoundError`` / ``zipfile.BadZipFile`` tracebacks.
+    """
+    import zipfile
+
+    path = Path(path)
+    if not path.exists():
+        raise ResultError(f"{kind} file {path} does not exist")
+    try:
+        return np.load(path, allow_pickle=False)
+    except (zipfile.BadZipFile, ValueError, OSError, EOFError) as exc:
+        raise ResultError(
+            f"{path} is not a readable {kind} file (corrupt or not an .npz): {exc}"
+        ) from exc
+
+
 T = TypeVar("T", bound="_Section")
 
 
@@ -315,6 +344,13 @@ class SweepConfig(_Section):
     ``"process"``; the default ``"auto"`` selects ``"process"`` whenever
     ``workers > 1``.  ``output`` is the default ``EnsembleResult`` npz
     path used by ``repro sweep`` when ``--output`` is not given.
+
+    ``store`` (or ``repro sweep --store DIR``) points at a
+    :class:`repro.store.ResultStore` study directory: finished runs are
+    appended to it as they complete, and re-running the sweep *resumes*
+    it — variants already completed in the store (matched by config
+    hash) are restored instead of recomputed, and their shared ground
+    states are read back from the store's content-addressed blobs.
     """
 
     _context = "sweep"
@@ -324,6 +360,7 @@ class SweepConfig(_Section):
     scheduler: str = "auto"
     workers: int = 1
     output: Optional[str] = None
+    store: Optional[str] = None
 
     def __post_init__(self) -> None:
         _check(self.mode in ("grid", "zip"), f"sweep.mode must be 'grid' or 'zip', got {self.mode!r}")
@@ -332,6 +369,11 @@ class SweepConfig(_Section):
             f"sweep.scheduler must be one of auto, serial, thread, process, got {self.scheduler!r}",
         )
         _check(self.workers >= 1, f"sweep.workers must be >= 1, got {self.workers}")
+        if self.store is not None:
+            _check(
+                isinstance(self.store, str) and self.store != "",
+                f"sweep.store must be a non-empty directory path, got {self.store!r}",
+            )
         _check(isinstance(self.axes, Mapping), f"sweep.axes must be a table of path = [values], got {type(self.axes).__name__}")
         axes: Dict[str, Tuple[Any, ...]] = {}
         for path, values in self.axes.items():

@@ -40,11 +40,19 @@ from typing import Any, Callable, Dict, List, Mapping, NamedTuple, Optional, Seq
 
 import numpy as np
 
-from repro.api.config import ConfigError, SimulationConfig, SweepConfig
+from repro.api.config import (
+    ConfigError,
+    ResultError,
+    SimulationConfig,
+    SweepConfig,
+    open_result_npz,
+)
 from repro.api.simulation import Simulation, SimulationResult
+from repro.utils.io import atomic_savez
 from repro.backend import FFTCounters
 from repro.observables.spectrum import absorption_spectrum
 from repro.parallel.ledger import CostLedger
+from repro.rt.propagator import TDState
 from repro.scf.groundstate import GroundState
 
 
@@ -416,8 +424,7 @@ class EnsembleResult:
         for r in self.runs:
             for key, arr in r.arrays.items():
                 payload[f"run{r.index:04d}_{key}"] = np.asarray(arr)
-        np.savez(path, **payload)
-        return path
+        return atomic_savez(path, **payload)
 
     @classmethod
     def load_npz(cls, path) -> "EnsembleResult":
@@ -428,15 +435,15 @@ class EnsembleResult:
         part of the ensemble file.
         """
         path = Path(path)
-        with np.load(path, allow_pickle=False) as data:
+        with open_result_npz(path, "ensemble") as data:
             if "ensemble_json" not in data:
-                raise ConfigError(
+                raise ResultError(
                     f"{path} is not a repro ensemble file (missing ensemble_json)"
                 )
             meta = json.loads(str(data["ensemble_json"]))
             version = int(meta.get("version", 0))
             if version > ENSEMBLE_VERSION:
-                raise ConfigError(
+                raise ResultError(
                     f"ensemble file {path} has version {version}; "
                     f"this build reads <= {ENSEMBLE_VERSION}"
                 )
@@ -489,15 +496,15 @@ def _gs_key(config: SimulationConfig) -> str:
     excluded: the distributed exchange is bit-identical to serial at
     every rank count and pattern (tested), so a pattern/rank sweep shares
     one SCF and measures only what it should — the communication ledgers.
+
+    The grouping rule itself lives in :func:`repro.store.group_key` —
+    the result store addresses its deduplicated ground-state blobs by
+    the same key, so in-memory sharing and on-disk sharing can never
+    disagree about what "the same SCF" means.
     """
-    return json.dumps(
-        {
-            "system": config.system.to_dict(),
-            "scf": config.scf.to_dict(),
-            "backend": config.backend.name,
-        },
-        sort_keys=True,
-    )
+    from repro.store.common import group_key
+
+    return group_key(config)
 
 
 def _execute_sim(
@@ -521,13 +528,21 @@ def _execute_sim(
 
 def _execute_variant_json(
     config_json: str, ground_state: Optional[GroundState]
-) -> Tuple[Dict[str, np.ndarray], Optional[FFTCounters], Optional[Dict[str, Any]], float]:
+) -> Tuple[
+    Dict[str, np.ndarray],
+    Optional[FFTCounters],
+    Optional[Dict[str, Any]],
+    Tuple[np.ndarray, np.ndarray, float],
+    float,
+]:
     """Process-pool entry: configs travel as JSON, arrays come back.
 
     The FFT tally and communication accounting are snapshotted *in the
     worker* and pickled back with the observables — previously they were
     recorded into the worker's process-global state and discarded with
-    the process.
+    the process.  The final state travels back as a plain
+    ``(phi, sigma, time)`` tuple so the parent can persist it to a
+    result store (the store is single-writer: only the parent appends).
     """
     started = time.perf_counter()
     sim = Simulation(
@@ -539,7 +554,9 @@ def _execute_variant_json(
     # schedulers report), not the worker-cumulative count — the two differ
     # by the Hamiltonian-construction transforms
     parallel = result.parallel.to_dict() if result.parallel is not None else None
-    return arrays, result.fft, parallel, time.perf_counter() - started
+    final = result.final_state
+    state = (np.asarray(final.phi), np.asarray(final.sigma), float(final.time))
+    return arrays, result.fft, parallel, state, time.perf_counter() - started
 
 
 def _converge_json(config_json: str) -> GroundState:
@@ -565,19 +582,38 @@ def _announce_group(
         )
 
 
+def _stored_ground_state(store, config: SimulationConfig) -> Optional[GroundState]:
+    """The store's SCF blob for this config's group, if one is cached."""
+    if store is None:
+        return None
+    return store.load_ground_state(config)
+
+
 def _converge_shared_ground_states(
     variants: Sequence[SweepVariant],
     progress: Optional[Callable[[str], None]],
+    store=None,
 ) -> Dict[str, Any]:
     """One prototype :class:`Simulation` (one SCF) per distinct
     (system, scf) pair; every variant derives from its group's prototype,
     sharing the converged ground state and cell/grid caches.
+
+    With a ``store``, a group whose SCF blob is already cached is
+    restored instead of re-converged (the resume path), and freshly
+    converged ground states are written back so the next resume skips
+    them too.
 
     A group whose SCF raises maps to the exception instead of a
     prototype — its variants are marked failed without aborting the
     other groups."""
     shared: Dict[str, Any] = {}
     for i, (key, config) in enumerate(_group_configs(variants).items()):
+        cached = _stored_ground_state(store, config)
+        if cached is not None:
+            if progress is not None:
+                progress(f"ground state {i + 1} restored from store")
+            shared[key] = Simulation(config, ground_state=cached)
+            continue
         _announce_group(progress, i + 1, config)
         proto = Simulation(config)
         try:
@@ -585,6 +621,8 @@ def _converge_shared_ground_states(
         except Exception as exc:  # noqa: BLE001 — reported per affected run
             shared[key] = exc
             continue
+        if store is not None:
+            store.put_ground_state(config, proto.ground_state())
         shared[key] = proto
     return shared
 
@@ -629,6 +667,7 @@ def run_ensemble(
     workers: Optional[int] = None,
     scheduler: Optional[str] = None,
     progress: Optional[Callable[[str], None]] = None,
+    store=None,
 ) -> EnsembleResult:
     """Expand ``sweep`` over ``base`` and execute every grid point.
 
@@ -642,6 +681,16 @@ def run_ensemble(
     progress:
         Optional callable receiving one human-readable line per event
         (ground-state solves, run completions) — the CLI passes ``print``.
+    store:
+        A :class:`~repro.store.ResultStore` or study-directory path
+        (defaults to ``sweep.store`` when set).  Finished runs append to
+        the store as they complete, and the sweep becomes *resumable*: a
+        variant whose config hash already maps to a completed stored run
+        is restored instead of recomputed (its SCF too — ground-state
+        blobs are cached per shared-SCF group), while interrupted
+        (``running``) and failed (``error``) runs are re-queued.  All
+        store writes happen in the parent process, so any scheduler is
+        safe.
 
     Ground states are converged once per distinct (system, scf) section
     pair — serially in the parent for the serial scheduler, on the pool
@@ -662,9 +711,36 @@ def run_ensemble(
     variants = expand_sweep(base, sweep)
     records = [RunRecord(v.index, v.overrides, v.config) for v in variants]
 
+    store_like = store if store is not None else sweep.store
+    store_obj = None
+    if store_like is not None:
+        from repro.store import ResultStore
+
+        store_obj = ResultStore.ensure(store_like)
+
+    # resume: restore variants whose exact config already completed
+    restored: set = set()
+    if store_obj is not None:
+        for v, record in zip(variants, records):
+            done = store_obj.find_completed(v.config)
+            if done is None:
+                continue
+            record.status = "ok"
+            record.arrays = store_obj.load_arrays(done.run_id)
+            record.fft = FFTCounters.from_dict(done.fft) if done.fft else None
+            record.parallel = done.parallel
+            record.elapsed = done.elapsed
+            restored.add(record.index)
+            if progress is not None:
+                progress(
+                    f"run {record.index} [{record.label()}]: restored from "
+                    f"store ({done.run_id})"
+                )
+    pending = [v for v in variants if v.index not in restored]
+
     def _finish(
         record: RunRecord, elapsed: float, arrays=None, fft=None, parallel=None,
-        result=None, exc=None,
+        result=None, state=None, exc=None,
     ):
         record.elapsed = elapsed
         if exc is None:
@@ -678,6 +754,26 @@ def run_ensemble(
             record.error = "".join(
                 traceback.format_exception_only(type(exc), exc)
             ).strip()
+        # persist before announcing: if the progress callback (or the
+        # user behind it) aborts the sweep, every completed run is
+        # already durable and the next --store invocation restores it
+        if store_obj is not None:
+            if exc is None:
+                final_state = result.final_state if result is not None else state
+                store_obj.add_run(
+                    record.config,
+                    arrays,
+                    final_state,
+                    overrides=record.overrides,
+                    fft=fft,
+                    parallel=parallel,
+                    elapsed=elapsed,
+                )
+            else:
+                store_obj.mark_error(
+                    record.config, record.error,
+                    overrides=record.overrides, elapsed=elapsed,
+                )
         if progress is not None:
             progress(
                 f"run {record.index} [{record.label()}]: {record.status} "
@@ -685,13 +781,17 @@ def run_ensemble(
             )
 
     if mode == "serial":
-        shared = _converge_shared_ground_states(variants, progress)
+        shared = _converge_shared_ground_states(pending, progress, store=store_obj)
         for v, record in zip(variants, records):
+            if record.index in restored:
+                continue
             started = time.perf_counter()
             proto = shared[_gs_key(v.config)]
             if isinstance(proto, Exception):
                 _finish(record, time.perf_counter() - started, exc=proto)
                 continue
+            if store_obj is not None:
+                store_obj.begin_run(v.config, overrides=v.overrides)
             try:
                 arrays, fft, parallel, result, elapsed = _execute_sim(
                     _derive_from(proto, v.config)
@@ -712,25 +812,40 @@ def run_ensemble(
         pool = ProcessPoolExecutor(max_workers=n_workers)
     with pool:
         # group SCF solves run on the pool too — with several (system, scf)
-        # groups the dominant cost parallelizes, not just the propagations
-        groups = _group_configs(variants)
+        # groups the dominant cost parallelizes, not just the propagations;
+        # groups whose SCF blob the store already holds skip the pool
+        groups = _group_configs(pending)
         gs_futures = {}
+        shared: Dict[str, Any] = {}
         for i, (key, config) in enumerate(groups.items()):
+            cached = _stored_ground_state(store_obj, config)
+            if cached is not None:
+                if progress is not None:
+                    progress(f"ground state {i + 1} restored from store")
+                shared[key] = Simulation(config, ground_state=cached)
+                continue
             _announce_group(progress, i + 1, config)
             gs_futures[key] = pool.submit(_converge_json, config.to_json())
-        shared: Dict[str, Any] = {}
         for key, fut in gs_futures.items():
             try:
-                shared[key] = Simulation(groups[key], ground_state=fut.result())
+                gs = fut.result()
             except Exception as exc:  # noqa: BLE001 — reported per affected run
                 shared[key] = exc
+                continue
+            if store_obj is not None:
+                store_obj.put_ground_state(groups[key], gs)
+            shared[key] = Simulation(groups[key], ground_state=gs)
 
         futures: Dict[Future, RunRecord] = {}
         for v, record in zip(variants, records):
+            if record.index in restored:
+                continue
             proto = shared[_gs_key(v.config)]
             if isinstance(proto, Exception):
                 _finish(record, 0.0, exc=proto)
                 continue
+            if store_obj is not None:
+                store_obj.begin_run(v.config, overrides=v.overrides)
             if mode == "thread":
                 fut = pool.submit(_execute_sim, _derive_from(proto, v.config))
             else:
@@ -745,11 +860,16 @@ def run_ensemble(
             else:
                 if mode == "thread":
                     arrays, fft, parallel, result, elapsed = out
+                    state = None
                 else:
-                    (arrays, fft, parallel, elapsed), result = out, None
+                    arrays, fft, parallel, state_t, elapsed = out
+                    result = None
+                    state = TDState(
+                        phi=state_t[0], sigma=state_t[1], time=state_t[2]
+                    )
                 _finish(
                     record, elapsed, arrays=arrays, fft=fft, parallel=parallel,
-                    result=result,
+                    result=result, state=state,
                 )
 
     return EnsembleResult(base_config=base, sweep=sweep, runs=records)

@@ -123,12 +123,14 @@ def available_components() -> Dict[str, List[str]]:
     api registries.
     """
     from repro.backend import available_backends
+    from repro.store.index import available_store_backends
 
     out = {
         reg.kind: reg.names()
         for reg in (CELLS, FUNCTIONALS, FIELDS, PROPAGATORS)
     }
     out["backend"] = available_backends()
+    out["store"] = available_store_backends()
     return out
 
 

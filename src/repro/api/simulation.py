@@ -17,6 +17,7 @@ whenever the high-level surface is too coarse.
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Tuple, Union
@@ -24,7 +25,13 @@ from typing import Any, Dict, Mapping, Optional, Tuple, Union
 import numpy as np
 
 from repro.api.checkpoint import load_checkpoint, save_checkpoint
-from repro.api.config import ConfigError, SimulationConfig, check_config_matches
+from repro.api.config import (
+    ConfigError,
+    ResultError,
+    SimulationConfig,
+    check_config_matches,
+    open_result_npz,
+)
 from repro.api.registry import CELLS, FIELDS, FUNCTIONALS, PROPAGATORS
 from repro.backend import Backend, CountingBackend, FFTCounters, make_backend
 from repro.constants import AU_PER_ATTOSECOND
@@ -74,8 +81,9 @@ class SimulationResult:
         complex128); :meth:`load_npz` round-trips the payload and can
         enforce that the file belongs to an expected config.
         """
-        path = Path(path)
         import json as _json
+
+        from repro.utils.io import atomic_savez
 
         payload: Dict[str, Any] = {
             "result_version": np.int64(RESULT_VERSION),
@@ -90,8 +98,7 @@ class SimulationResult:
             )
         for key, arr in self.observables().items():
             payload[key] = arr
-        np.savez(path, **payload)
-        return path
+        return atomic_savez(path, **payload)
 
     @staticmethod
     def load_npz(
@@ -102,16 +109,24 @@ class SimulationResult:
         ``expected_config`` (when given) must match the config embedded
         in the file; a mismatch raises :class:`ConfigError` naming the
         differing keys — guarding against stacking or comparing results
-        produced by a different setup.
+        produced by a different setup.  A missing or unreadable file,
+        and a ``result_version`` newer than this build, raise
+        :class:`ResultError` naming the path.
         """
         path = Path(path)
-        with np.load(path, allow_pickle=False) as data:
+        with open_result_npz(path, "result") as data:
             if "config_json" not in data:
-                raise ConfigError(f"{path} is not a repro result file (missing config_json)")
+                raise ResultError(f"{path} is not a repro result file (missing config_json)")
             if "final_phi" not in data:
-                raise ConfigError(
+                raise ResultError(
                     f"{path} is not a repro result file (no final state); "
                     f"checkpoints are read by Simulation.resume / load_checkpoint"
+                )
+            version = int(data["result_version"]) if "result_version" in data else 0
+            if version > RESULT_VERSION:
+                raise ResultError(
+                    f"result file {path} has result_version {version}; this "
+                    f"build reads <= {RESULT_VERSION} — upgrade repro to read it"
                 )
             config = SimulationConfig.from_json(str(data["config_json"]))
             check_config_matches(config, expected_config, path, "result")
@@ -130,9 +145,9 @@ class SimulationResult:
         import json as _json
 
         path = Path(path)
-        with np.load(path, allow_pickle=False) as data:
+        with open_result_npz(path, "result") as data:
             if "config_json" not in data:
-                raise ConfigError(f"{path} is not a repro result file (missing config_json)")
+                raise ResultError(f"{path} is not a repro result file (missing config_json)")
             if "parallel_json" not in data:
                 return None
             return ParallelRunInfo.from_dict(_json.loads(str(data["parallel_json"])))
@@ -400,13 +415,24 @@ class Simulation:
         n_steps: Optional[int] = None,
         dt_as: Optional[float] = None,
         observe_every: Optional[int] = None,
+        store=None,
     ) -> SimulationResult:
         """Run the configured propagation from the current state.
 
         Arguments override the corresponding ``propagation`` config keys
         for this call only.  The simulation's state advances, so calling
         again continues the trajectory.
+
+        ``store`` (a :class:`~repro.store.ResultStore` or a directory
+        path) appends the finished result — trajectory, final state,
+        config, and the converged ground state of its shared-SCF group —
+        to the study's result store before returning.
         """
+        if store is not None:
+            from repro.store import ResultStore
+
+            store = ResultStore.ensure(store)
+        started = _time.perf_counter()
         prop_cfg = self.config.propagation
         n_steps = prop_cfg.n_steps if n_steps is None else int(n_steps)
         dt_as = prop_cfg.dt_as if dt_as is None else float(dt_as)
@@ -443,7 +469,7 @@ class Simulation:
                 if fft is None:
                     fft = FFTCounters()
                 fft.merge(rank_delta)
-        return SimulationResult(
+        result = SimulationResult(
             config=self.config,
             record=propagator.record,
             final_state=final,
@@ -451,11 +477,25 @@ class Simulation:
             fft=fft,
             parallel=ctx.run_info(ledger_mark) if ctx is not None else None,
         )
+        if store is not None:
+            store.add_result(result, elapsed=_time.perf_counter() - started)
+        return result
 
-    def run(self) -> SimulationResult:
-        """Ground state + full configured propagation (the CLI entry)."""
+    def run(self, store=None) -> SimulationResult:
+        """Ground state + full configured propagation (the CLI entry).
+
+        With a ``store``, the SCF for this config's shared-SCF group is
+        loaded from the store's blob cache when present (skipping
+        :func:`run_scf` entirely) and the finished run is appended.
+        """
+        if store is not None:
+            from repro.store import ResultStore
+
+            store = ResultStore.ensure(store)
+            if self._gs is None:
+                self._gs = store.load_ground_state(self.config)
         self.ground_state()
-        return self.propagate()
+        return self.propagate(store=store)
 
     # -- checkpointing --------------------------------------------------------
     def save_checkpoint(self, path) -> Path:

@@ -1,0 +1,80 @@
+"""``repro.store`` — append-able, resumable, content-addressed result store.
+
+One :class:`ResultStore` per study directory: runs append as they
+finish (chunked trajectory records), configs and ground states are
+deduplicated by content address (every variant in a shared-SCF sweep
+group points at one ground-state blob), and a schema-versioned index
+answers queries by dotted config key, status, and time window.
+
+Entry points:
+
+- ``Simulation.propagate(store=...)`` / ``run_ensemble(store=...)`` —
+  append as you compute
+- ``repro sweep --store DIR`` — resumable sweeps (completed variants
+  are restored, not recomputed)
+- ``repro results ls|show|export`` — query and materialize stored runs
+"""
+
+from repro.store.blobs import BlobStore
+from repro.store.common import (
+    StoreError,
+    canonical_json,
+    config_hash,
+    flatten_dotted,
+    group_address,
+    group_key,
+    run_id_for,
+)
+from repro.store.index import (
+    JsonlRunIndex,
+    SqliteRunIndex,
+    available_store_backends,
+    make_run_index,
+    register_store_backend,
+)
+from repro.store.migrate import SCHEMA_VERSION, ensure_schema
+from repro.store.query import StoredRun, parse_when, parse_where, query_runs
+from repro.store.records import (
+    read_chunks,
+    read_state,
+    record_from_arrays,
+    write_chunks,
+    write_state,
+)
+from repro.store.store import (
+    DEFAULT_CHUNK_STEPS,
+    STORE_VERSION,
+    ResultStore,
+    store_schema_info,
+)
+
+__all__ = [
+    "BlobStore",
+    "DEFAULT_CHUNK_STEPS",
+    "JsonlRunIndex",
+    "ResultStore",
+    "SCHEMA_VERSION",
+    "STORE_VERSION",
+    "SqliteRunIndex",
+    "StoreError",
+    "StoredRun",
+    "available_store_backends",
+    "canonical_json",
+    "config_hash",
+    "ensure_schema",
+    "flatten_dotted",
+    "group_address",
+    "group_key",
+    "make_run_index",
+    "parse_when",
+    "parse_where",
+    "query_runs",
+    "read_chunks",
+    "read_state",
+    "record_from_arrays",
+    "register_store_backend",
+    "run_id_for",
+    "store_schema_info",
+    "write_chunks",
+    "write_state",
+]

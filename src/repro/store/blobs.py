@@ -1,0 +1,115 @@
+"""Content-addressed blob storage for configs and ground states.
+
+Layout inside a study directory::
+
+    blobs/
+      configs/<sha256>.json          # exact SimulationConfig.to_json()
+      ground_states/<sha256>.npz     # one converged SCF per (system, scf,
+                                     # backend-engine) group
+
+Writing is idempotent: the address *is* the content identity, so putting
+the same config or the same group's ground state twice touches one file
+— a 500-variant sweep whose variants share one SCF stores exactly one
+ground-state blob, however many runs reference it.  All writes are
+atomic (temp file + rename) so a killed process never leaves a partial
+blob under a valid address.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+from repro.api.config import SimulationConfig
+from repro.scf.groundstate import GroundState
+from repro.store.common import StoreError, config_hash, group_address
+from repro.utils.io import atomic_savez, atomic_write_text
+
+#: GroundState fields serialized into a ground-state blob (same field-led
+#: scheme as the checkpoint format, so forward-compat rules match)
+_GS_FIELDS = [f.name for f in dataclasses.fields(GroundState)]
+
+
+class BlobStore:
+    """The ``blobs/`` tree of one study directory."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.configs_dir = self.root / "configs"
+        self.ground_states_dir = self.root / "ground_states"
+
+    # -- configs -------------------------------------------------------------
+    def put_config(self, config: SimulationConfig) -> str:
+        """Store a config blob; returns its content address (idempotent)."""
+        address = config_hash(config)
+        path = self.configs_dir / f"{address}.json"
+        if not path.exists():
+            atomic_write_text(path, config.to_json())
+        return address
+
+    def get_config(self, address: str) -> SimulationConfig:
+        path = self.configs_dir / f"{address}.json"
+        if not path.exists():
+            raise StoreError(f"store has no config blob {address} ({path})")
+        return SimulationConfig.from_json(path.read_text())
+
+    # -- ground states -------------------------------------------------------
+    def put_ground_state(self, config: SimulationConfig, gs: GroundState) -> str:
+        """Store a group's converged SCF; returns the group address.
+
+        The address hashes the *defining* content — the canonical
+        (system, scf, backend-engine) sections — so every variant of a
+        sweep group maps to the same single blob.
+        """
+        address = group_address(config)
+        path = self.ground_states_dir / f"{address}.npz"
+        if not path.exists():
+            payload = {name: np.asarray(getattr(gs, name)) for name in _GS_FIELDS}
+            atomic_savez(path, **payload)
+        return address
+
+    def get_ground_state(self, address: str) -> Optional[GroundState]:
+        """The stored :class:`GroundState` at ``address`` (``None`` if absent)."""
+        path = self.ground_states_dir / f"{address}.npz"
+        if not path.exists():
+            return None
+        kwargs = {}
+        with np.load(path, allow_pickle=False) as data:
+            for f in dataclasses.fields(GroundState):
+                if f.name not in data:
+                    # fields added after the blob was written fall back to
+                    # their dataclass defaults (forward compat, as for
+                    # checkpoints)
+                    if (
+                        f.default is not dataclasses.MISSING
+                        or f.default_factory is not dataclasses.MISSING
+                    ):
+                        continue
+                    raise StoreError(
+                        f"ground-state blob {path} is missing field {f.name!r}"
+                    )
+                value = np.array(data[f.name])
+                if value.ndim == 0:
+                    value = value.item()
+                elif f.name == "history":
+                    value = [float(v) for v in value]
+                kwargs[f.name] = value
+        return GroundState(**kwargs)
+
+    def ground_state_for(self, config: SimulationConfig) -> Optional[GroundState]:
+        """Group lookup by config (the resume/shared-SCF entry point)."""
+        return self.get_ground_state(group_address(config))
+
+    # -- inventory -----------------------------------------------------------
+    def ground_state_addresses(self) -> List[str]:
+        if not self.ground_states_dir.exists():
+            return []
+        return sorted(p.stem for p in self.ground_states_dir.glob("*.npz"))
+
+    def config_addresses(self) -> List[str]:
+        if not self.configs_dir.exists():
+            return []
+        return sorted(p.stem for p in self.configs_dir.glob("*.json"))

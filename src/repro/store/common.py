@@ -1,0 +1,94 @@
+"""Shared store primitives: errors, hashing, dotted-key flattening.
+
+Everything in :mod:`repro.store` addresses content by SHA-256 of a
+canonical byte string; the helpers here are the single definition of
+"canonical" so blobs, index rows, and resume matching can never drift
+apart.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from typing import Any, Dict, Mapping
+
+
+class StoreError(ValueError):
+    """A result-store operation failed; the message names the path/run.
+
+    Subclasses :class:`ValueError` so the CLI's error net reports it as
+    a user-facing message instead of a traceback.
+    """
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace drift."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def sha256_text(text: str) -> str:
+    """Hex SHA-256 of a text payload (the store's content address)."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def config_hash(config) -> str:
+    """Content address of a :class:`SimulationConfig` (full hex digest).
+
+    Two configs hash equal iff their canonical dicts are equal — the
+    exact identity `run_ensemble` resume uses to decide that a stored
+    run already covers a sweep variant.
+    """
+    return sha256_text(canonical_json(config.to_dict()))
+
+
+def run_id_for(config) -> str:
+    """Default run id: ``r`` + the leading 12 hex chars of the config hash.
+
+    Stable across processes and sessions, so re-running the same config
+    against the same store addresses the same run record.
+    """
+    return "r" + config_hash(config)[:12]
+
+
+def group_key(config) -> str:
+    """Ground-state sharing key: canonical (system, scf, backend-engine).
+
+    The same grouping rule as the ensemble engine's ``_gs_key`` (which
+    now delegates here): variants that differ only in field/propagation/
+    parallel sections — or in backend tuning knobs — share one converged
+    SCF, so a store keeps exactly one ground-state blob per group.
+    """
+    return canonical_json(
+        {
+            "system": config.system.to_dict(),
+            "scf": config.scf.to_dict(),
+            "backend": config.backend.name,
+        }
+    )
+
+
+def group_address(config) -> str:
+    """Content address of a config's ground-state group."""
+    return sha256_text(group_key(config))
+
+
+def flatten_dotted(data: Mapping[str, Any], prefix: str = "") -> Dict[str, Any]:
+    """Nested config dict -> flat ``{"field.params.kick": 0.002, ...}``.
+
+    Leaves are anything non-dict (lists included, as whole values); the
+    result is what the index stores per run for dotted-key queries.
+    """
+    out: Dict[str, Any] = {}
+    for key, value in data.items():
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, Mapping):
+            out.update(flatten_dotted(value, path))
+        else:
+            out[path] = value
+    return out
+
+
+def utc_now() -> float:
+    """Unix timestamp used for index ``created``/``updated`` columns."""
+    return time.time()

@@ -1,0 +1,346 @@
+"""The queryable run index: one row per run, pluggable backends.
+
+Two registered backends share one row contract (plain dicts):
+
+``sqlite`` (default)
+    A single ``index.sqlite`` file, schema-versioned and migrated by
+    :mod:`repro.store.migrate`; dotted-key filters run in SQL against
+    the flattened ``config_kv`` table.
+``jsonl``
+    An append-only ``index.jsonl`` manifest (one JSON row per line,
+    latest row per run id wins) for environments where a single
+    append-only text file beats a database — filters run in Python.
+
+Register more with :func:`register_store_backend`; ``repro components``
+lists whatever is registered.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from repro.store.common import StoreError, canonical_json, flatten_dotted
+from repro.store.migrate import SCHEMA_VERSION, ensure_schema
+
+#: row keys every backend stores and returns
+ROW_KEYS = (
+    "run_id",
+    "config_hash",
+    "gs_address",
+    "status",
+    "error",
+    "created",
+    "updated",
+    "elapsed",
+    "n_chunks",
+    "n_times",
+    "config",
+    "overrides",
+    "fft",
+    "parallel",
+)
+
+
+def _normalize_row(row: Mapping[str, Any]) -> Dict[str, Any]:
+    out = {key: row.get(key) for key in ROW_KEYS}
+    if out["run_id"] is None or out["config_hash"] is None or out["status"] is None:
+        raise StoreError(f"index row needs run_id/config_hash/status, got {dict(row)!r}")
+    out["config"] = dict(out["config"] or {})
+    out["overrides"] = dict(out["overrides"] or {})
+    out["elapsed"] = float(out["elapsed"] or 0.0)
+    out["n_chunks"] = int(out["n_chunks"] or 0)
+    out["n_times"] = int(out["n_times"] or 0)
+    return out
+
+
+def _matches(
+    row: Dict[str, Any],
+    status: Optional[str],
+    where: Optional[Mapping[str, Any]],
+    since: Optional[float],
+    until: Optional[float],
+) -> bool:
+    """Python-side filter (jsonl backend; semantics match the SQL path)."""
+    if status is not None and row["status"] != status:
+        return False
+    if since is not None and row["created"] < since:
+        return False
+    if until is not None and row["created"] > until:
+        return False
+    if where:
+        flat = flatten_dotted(row["config"])
+        for key, value in where.items():
+            if key not in flat or canonical_json(flat[key]) != canonical_json(value):
+                return False
+    return True
+
+
+class SqliteRunIndex:
+    """SQLite-backed run index (the default store backend)."""
+
+    name = "sqlite"
+    filename = "index.sqlite"
+
+    def __init__(self, root) -> None:
+        self.path = Path(root) / self.filename
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # single-writer by design (the parent process owns all store
+        # writes), but reads may come from helper threads
+        self._conn = sqlite3.connect(self.path, check_same_thread=False)
+        self.schema_version = ensure_schema(self._conn, self.path)
+
+    def close(self) -> None:
+        self._conn.close()
+
+    # -- writes --------------------------------------------------------------
+    def upsert(self, row: Mapping[str, Any]) -> None:
+        r = _normalize_row(row)
+        with self._conn:
+            self._conn.execute(
+                """
+                INSERT OR REPLACE INTO runs (
+                    run_id, config_hash, gs_address, status, error, created,
+                    updated, elapsed, n_chunks, n_times, config_json,
+                    overrides_json, fft_json, parallel_json
+                ) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                """,
+                (
+                    r["run_id"],
+                    r["config_hash"],
+                    r["gs_address"],
+                    r["status"],
+                    r["error"],
+                    r["created"],
+                    r["updated"],
+                    r["elapsed"],
+                    r["n_chunks"],
+                    r["n_times"],
+                    canonical_json(r["config"]),
+                    canonical_json(r["overrides"]),
+                    canonical_json(r["fft"]) if r["fft"] is not None else None,
+                    canonical_json(r["parallel"]) if r["parallel"] is not None else None,
+                ),
+            )
+            self._conn.execute(
+                "DELETE FROM config_kv WHERE run_id = ?", (r["run_id"],)
+            )
+            self._conn.executemany(
+                "INSERT INTO config_kv (run_id, key, value) VALUES (?, ?, ?)",
+                [
+                    (r["run_id"], key, canonical_json(value))
+                    for key, value in flatten_dotted(r["config"]).items()
+                ],
+            )
+
+    def delete(self, run_id: str) -> None:
+        with self._conn:
+            self._conn.execute("DELETE FROM runs WHERE run_id = ?", (run_id,))
+            self._conn.execute("DELETE FROM config_kv WHERE run_id = ?", (run_id,))
+
+    # -- reads ---------------------------------------------------------------
+    _COLUMNS = (
+        "run_id, config_hash, gs_address, status, error, created, updated, "
+        "elapsed, n_chunks, n_times, config_json, overrides_json, fft_json, "
+        "parallel_json"
+    )
+
+    def _row_from(self, record) -> Dict[str, Any]:
+        (
+            run_id, config_hash, gs_address, status, error, created, updated,
+            elapsed, n_chunks, n_times, config_json, overrides_json, fft_json,
+            parallel_json,
+        ) = record
+        return _normalize_row(
+            {
+                "run_id": run_id,
+                "config_hash": config_hash,
+                "gs_address": gs_address,
+                "status": status,
+                "error": error,
+                "created": created,
+                "updated": updated,
+                "elapsed": elapsed,
+                "n_chunks": n_chunks,
+                "n_times": n_times,
+                "config": json.loads(config_json),
+                "overrides": json.loads(overrides_json) if overrides_json else {},
+                "fft": json.loads(fft_json) if fft_json else None,
+                "parallel": json.loads(parallel_json) if parallel_json else None,
+            }
+        )
+
+    def get(self, run_id: str) -> Optional[Dict[str, Any]]:
+        record = self._conn.execute(
+            f"SELECT {self._COLUMNS} FROM runs WHERE run_id = ?", (run_id,)
+        ).fetchone()
+        return self._row_from(record) if record else None
+
+    def find_by_config(self, config_hash: str) -> Optional[Dict[str, Any]]:
+        record = self._conn.execute(
+            f"SELECT {self._COLUMNS} FROM runs WHERE config_hash = ? "
+            f"ORDER BY updated DESC LIMIT 1",
+            (config_hash,),
+        ).fetchone()
+        return self._row_from(record) if record else None
+
+    def rows(
+        self,
+        status: Optional[str] = None,
+        where: Optional[Mapping[str, Any]] = None,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> List[Dict[str, Any]]:
+        columns = ", ".join(
+            f"runs.{col.strip()}" for col in self._COLUMNS.split(",")
+        )
+        sql = f"SELECT {columns} FROM runs"
+        clauses: List[str] = []
+        params: List[Any] = []
+        for i, (key, value) in enumerate(dict(where or {}).items()):
+            alias = f"kv{i}"
+            sql += (
+                f" JOIN config_kv AS {alias} ON {alias}.run_id = runs.run_id"
+                f" AND {alias}.key = ? AND {alias}.value = ?"
+            )
+            params += [key, canonical_json(value)]
+        if status is not None:
+            clauses.append("runs.status = ?")
+            params.append(status)
+        if since is not None:
+            clauses.append("runs.created >= ?")
+            params.append(float(since))
+        if until is not None:
+            clauses.append("runs.created <= ?")
+            params.append(float(until))
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY runs.created, runs.run_id"
+        return [self._row_from(rec) for rec in self._conn.execute(sql, params)]
+
+    def count(self) -> int:
+        return int(self._conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0])
+
+
+class JsonlRunIndex:
+    """Append-only JSON-lines manifest index (latest row per run wins)."""
+
+    name = "jsonl"
+    filename = "index.jsonl"
+
+    def __init__(self, root) -> None:
+        self.path = Path(root) / self.filename
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if not self.path.exists():
+            self.path.write_text(
+                json.dumps({"jsonl_header": True, "schema_version": SCHEMA_VERSION})
+                + "\n"
+            )
+        header = json.loads(self.path.read_text().splitlines()[0])
+        self.schema_version = int(header.get("schema_version", 1))
+        if self.schema_version > SCHEMA_VERSION:
+            raise StoreError(
+                f"store index {self.path} has schema version "
+                f"{self.schema_version}, newer than this build's "
+                f"{SCHEMA_VERSION}; upgrade repro to open this store"
+            )
+
+    def close(self) -> None:
+        pass
+
+    def _replay(self) -> Dict[str, Dict[str, Any]]:
+        live: Dict[str, Dict[str, Any]] = {}
+        for line in self.path.read_text().splitlines()[1:]:
+            if not line.strip():
+                continue
+            row = json.loads(line)
+            if row.get("deleted"):
+                live.pop(row["run_id"], None)
+            else:
+                # rows from older schema versions pick up new keys as
+                # None/{} defaults during normalization — the jsonl
+                # analogue of the sqlite column migrations
+                live[row["run_id"]] = _normalize_row(row)
+        return live
+
+    def upsert(self, row: Mapping[str, Any]) -> None:
+        with self.path.open("a") as fh:
+            fh.write(canonical_json(_normalize_row(row)) + "\n")
+
+    def delete(self, run_id: str) -> None:
+        with self.path.open("a") as fh:
+            fh.write(canonical_json({"run_id": run_id, "deleted": True}) + "\n")
+
+    def get(self, run_id: str) -> Optional[Dict[str, Any]]:
+        return self._replay().get(run_id)
+
+    def find_by_config(self, config_hash: str) -> Optional[Dict[str, Any]]:
+        matches = [
+            row for row in self._replay().values() if row["config_hash"] == config_hash
+        ]
+        matches.sort(key=lambda r: r["updated"])
+        return matches[-1] if matches else None
+
+    def rows(
+        self,
+        status: Optional[str] = None,
+        where: Optional[Mapping[str, Any]] = None,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> List[Dict[str, Any]]:
+        out = [
+            row
+            for row in self._replay().values()
+            if _matches(row, status, where, since, until)
+        ]
+        out.sort(key=lambda r: (r["created"], r["run_id"]))
+        return out
+
+    def count(self) -> int:
+        return len(self._replay())
+
+
+# --------------------------------------------------------------------------
+# backend registry
+# --------------------------------------------------------------------------
+
+IndexFactory = Callable[..., Any]
+
+_BACKENDS: Dict[str, IndexFactory] = {}
+
+
+def register_store_backend(name: str, factory: Optional[IndexFactory] = None):
+    """Register an index backend ``factory(root) -> RunIndex``; decorator-friendly."""
+
+    def _add(fn: IndexFactory) -> IndexFactory:
+        key = name.strip().lower()
+        if key in _BACKENDS:
+            raise StoreError(
+                f"store backend {key!r} is already registered; pick another name"
+            )
+        _BACKENDS[key] = fn
+        return fn
+
+    return _add if factory is None else _add(factory)
+
+
+def available_store_backends() -> List[str]:
+    """Registered index-backend names (``repro components`` lists these)."""
+    return sorted(_BACKENDS)
+
+
+def make_run_index(name: str, root):
+    """Build the index backend ``name`` rooted at the study directory."""
+    key = str(name).strip().lower()
+    if key not in _BACKENDS:
+        raise StoreError(
+            f"unknown store backend {name!r}; "
+            f"registered: {', '.join(available_store_backends())}"
+        )
+    return _BACKENDS[key](root)
+
+
+register_store_backend("sqlite", SqliteRunIndex)
+register_store_backend("jsonl", JsonlRunIndex)

@@ -1,0 +1,134 @@
+"""Schema versioning + migrations for the SQLite run index.
+
+The pattern (borrowed from production pipeline engines): the on-disk
+schema carries its version in a ``meta`` table, fresh databases are
+created at the *baseline* version and then run through the same
+migration chain as old databases, so "create new" and "upgrade old" are
+one code path and can never diverge.  Adding a schema change means
+appending one migration function — old studies keep opening.
+
+``SCHEMA_VERSION`` is what this build writes; opening a store whose
+index is *newer* raises :class:`StoreError` (the code cannot know what
+the extra columns mean), which ``repro validate`` reports as a warning.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Callable, Dict
+
+from repro.store.common import StoreError
+
+#: schema version this build reads and writes
+SCHEMA_VERSION = 2
+
+
+def _create_baseline(conn: sqlite3.Connection) -> None:
+    """Version-1 schema: the run table + store metadata."""
+    conn.executescript(
+        """
+        CREATE TABLE meta (
+            key   TEXT PRIMARY KEY,
+            value TEXT NOT NULL
+        );
+        CREATE TABLE runs (
+            run_id         TEXT PRIMARY KEY,
+            config_hash    TEXT NOT NULL,
+            gs_address     TEXT,
+            status         TEXT NOT NULL,
+            error          TEXT,
+            created        REAL NOT NULL,
+            updated        REAL NOT NULL,
+            elapsed        REAL NOT NULL DEFAULT 0.0,
+            n_chunks       INTEGER NOT NULL DEFAULT 0,
+            n_times        INTEGER NOT NULL DEFAULT 0,
+            config_json    TEXT NOT NULL,
+            overrides_json TEXT
+        );
+        CREATE INDEX runs_config_hash ON runs (config_hash);
+        CREATE INDEX runs_status ON runs (status);
+        """
+    )
+    conn.execute("INSERT INTO meta (key, value) VALUES ('schema_version', '1')")
+
+
+def _migrate_1_to_2(conn: sqlite3.Connection) -> None:
+    """v2: per-run FFT/parallel accounting columns + the dotted-key table.
+
+    ``config_kv`` holds every flattened config leaf (``field.params.kick``
+    -> canonical JSON value) so dotted-key queries filter in SQL instead
+    of deserializing every row; existing rows are backfilled from their
+    embedded ``config_json``.
+    """
+    import json
+
+    from repro.store.common import canonical_json, flatten_dotted
+
+    conn.executescript(
+        """
+        ALTER TABLE runs ADD COLUMN fft_json TEXT;
+        ALTER TABLE runs ADD COLUMN parallel_json TEXT;
+        CREATE TABLE config_kv (
+            run_id TEXT NOT NULL,
+            key    TEXT NOT NULL,
+            value  TEXT NOT NULL,
+            PRIMARY KEY (run_id, key)
+        );
+        CREATE INDEX config_kv_key_value ON config_kv (key, value);
+        """
+    )
+    for run_id, config_json in conn.execute("SELECT run_id, config_json FROM runs"):
+        for key, value in flatten_dotted(json.loads(config_json)).items():
+            conn.execute(
+                "INSERT OR REPLACE INTO config_kv (run_id, key, value) VALUES (?, ?, ?)",
+                (run_id, key, canonical_json(value)),
+            )
+
+
+#: migration chain: ``MIGRATIONS[n]`` upgrades schema version n -> n + 1
+MIGRATIONS: Dict[int, Callable[[sqlite3.Connection], None]] = {
+    1: _migrate_1_to_2,
+}
+
+
+def schema_version(conn: sqlite3.Connection) -> int:
+    """The on-disk schema version (0 for an empty/uninitialized database)."""
+    try:
+        row = conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+    except sqlite3.OperationalError:
+        return 0
+    return int(row[0]) if row else 0
+
+
+def ensure_schema(conn: sqlite3.Connection, path="index") -> int:
+    """Create or upgrade the schema in place; returns the final version.
+
+    Fresh databases get the baseline schema and then every migration in
+    order; databases from older builds get only the migrations they are
+    missing.  A database from a *newer* build is refused.
+    """
+    version = schema_version(conn)
+    if version > SCHEMA_VERSION:
+        raise StoreError(
+            f"store index {path} has schema version {version}, newer than this "
+            f"build's {SCHEMA_VERSION}; upgrade repro to open this store"
+        )
+    with conn:
+        if version == 0:
+            _create_baseline(conn)
+            version = 1
+        while version < SCHEMA_VERSION:
+            migrate = MIGRATIONS.get(version)
+            if migrate is None:
+                raise StoreError(
+                    f"no migration registered from store schema version {version}"
+                )
+            migrate(conn)
+            version += 1
+            conn.execute(
+                "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+                (str(version),),
+            )
+    return version

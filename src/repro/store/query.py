@@ -1,0 +1,134 @@
+"""Typed query surface over the run index.
+
+:class:`StoredRun` is the user-facing view of one index row (config
+parsed back into a :class:`SimulationConfig`, overrides labeled the same
+way sweep variants are); :func:`query_runs` applies the standard filter
+set — status, dotted config keys, creation-time window — and the CLI
+helpers parse ``--where key=value`` / ``--since 2026-08-01`` arguments
+into those filters.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.api.config import SimulationConfig
+from repro.store.common import StoreError
+
+
+@dataclass(frozen=True)
+class StoredRun:
+    """One indexed run: identity, status, provenance, accounting."""
+
+    run_id: str
+    config_hash: str
+    gs_address: Optional[str]
+    status: str
+    error: Optional[str]
+    created: float
+    updated: float
+    elapsed: float
+    n_chunks: int
+    n_times: int
+    config: SimulationConfig
+    overrides: Dict[str, Any]
+    fft: Optional[Dict[str, Any]]
+    parallel: Optional[Dict[str, Any]]
+
+    @classmethod
+    def from_row(cls, row: Mapping[str, Any]) -> "StoredRun":
+        return cls(
+            run_id=row["run_id"],
+            config_hash=row["config_hash"],
+            gs_address=row.get("gs_address"),
+            status=row["status"],
+            error=row.get("error"),
+            created=float(row["created"]),
+            updated=float(row["updated"]),
+            elapsed=float(row.get("elapsed") or 0.0),
+            n_chunks=int(row.get("n_chunks") or 0),
+            n_times=int(row.get("n_times") or 0),
+            config=SimulationConfig.from_dict(row["config"]),
+            overrides=dict(row.get("overrides") or {}),
+            fft=row.get("fft"),
+            parallel=row.get("parallel"),
+        )
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def label(self) -> str:
+        """Compact ``key=value`` tag (same format as sweep variants)."""
+        if not self.overrides:
+            return "(base)"
+        return " ".join(
+            f"{k.split('.')[-1]}={v!r}" for k, v in self.overrides.items()
+        )
+
+    def created_iso(self) -> str:
+        return _dt.datetime.fromtimestamp(
+            self.created, tz=_dt.timezone.utc
+        ).strftime("%Y-%m-%d %H:%M:%S")
+
+
+def query_runs(
+    index,
+    status: Optional[str] = None,
+    where: Optional[Mapping[str, Any]] = None,
+    since: Optional[float] = None,
+    until: Optional[float] = None,
+) -> List[StoredRun]:
+    """Filtered, creation-ordered runs from an index backend."""
+    return [
+        StoredRun.from_row(row)
+        for row in index.rows(status=status, where=where, since=since, until=until)
+    ]
+
+
+def parse_where(pairs: Sequence[str]) -> Dict[str, Any]:
+    """``["field.params.kick=0.002", ...]`` -> a dotted-key filter dict.
+
+    Values parse as JSON first (numbers, booleans, lists), falling back
+    to the literal string — so ``--where propagation.propagator=ptim``
+    and ``--where field.params.kick=0.002`` both do what they look like.
+    """
+    out: Dict[str, Any] = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise StoreError(
+                f"--where filter {pair!r} must look like dotted.config.key=value"
+            )
+        try:
+            out[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            out[key] = raw
+    return out
+
+
+def parse_when(text: Optional[str]) -> Optional[float]:
+    """``--since``/``--until`` argument -> unix timestamp.
+
+    Accepts ISO dates/datetimes (``2026-08-01``, ``2026-08-01T12:30``,
+    interpreted as UTC when no zone is given) or a raw unix timestamp.
+    """
+    if text is None:
+        return None
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    try:
+        when = _dt.datetime.fromisoformat(text)
+    except ValueError as exc:
+        raise StoreError(
+            f"bad timestamp {text!r}; use an ISO date (2026-08-01[T12:30]) "
+            f"or a unix timestamp"
+        ) from exc
+    if when.tzinfo is None:
+        when = when.replace(tzinfo=_dt.timezone.utc)
+    return when.timestamp()

@@ -1,0 +1,159 @@
+"""Chunked per-run trajectory records.
+
+Each run owns one directory under ``runs/<run_id>/``::
+
+    runs/r1a2b3c4d5e6/
+      chunk-000000.npz   # observable arrays, observations [0, chunk_steps)
+      chunk-000001.npz   # appended as the trajectory grows
+      state.npz          # final TDState (+ parallel accounting JSON)
+
+A chunk holds every observable series (``times``, ``dipole``, ``energy``,
+``particle_number``, ``field``, ``sigma_i_j``) sliced over the same
+observation window, dtype-preserving; reading concatenates the chunks in
+index order, which reproduces the original arrays bit for bit.  Appended
+continuations (a resumed or extended trajectory) become new chunks — no
+existing file is ever rewritten, so a crash mid-append loses at most the
+chunk being written (atomically: temp + rename).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.rt.propagator import PropagationRecord, StepStats, TDState
+from repro.store.common import StoreError
+from repro.utils.io import atomic_savez
+
+_CHUNK_RE = re.compile(r"chunk-(\d{6})\.npz$")
+_SIGMA_RE = re.compile(r"sigma_(-?\d+)_(-?\d+)$")
+
+
+def _n_observations(arrays: Dict[str, np.ndarray]) -> int:
+    """Common axis-0 length of all series (strict: ragged data is a bug)."""
+    lengths = {key: int(np.asarray(arr).shape[0]) for key, arr in arrays.items()}
+    distinct = set(lengths.values())
+    if len(distinct) > 1:
+        raise StoreError(
+            f"observable series disagree on length: {lengths} — "
+            f"cannot chunk a ragged trajectory"
+        )
+    return distinct.pop() if distinct else 0
+
+
+def chunk_paths(run_dir) -> list:
+    """Existing chunk files of a run, in index order."""
+    run_dir = Path(run_dir)
+    if not run_dir.exists():
+        return []
+    return sorted(p for p in run_dir.iterdir() if _CHUNK_RE.search(p.name))
+
+
+def write_chunks(run_dir, arrays: Dict[str, np.ndarray], chunk_steps: int) -> int:
+    """Append ``arrays`` to the run as one or more new chunks.
+
+    Continues after the highest existing chunk index; returns how many
+    chunks were written.  ``chunk_steps`` is the maximum number of
+    observations per chunk file.
+    """
+    run_dir = Path(run_dir)
+    if chunk_steps < 1:
+        raise StoreError(f"chunk_steps must be >= 1, got {chunk_steps}")
+    n = _n_observations(arrays)
+    existing = chunk_paths(run_dir)
+    next_index = (
+        int(_CHUNK_RE.search(existing[-1].name).group(1)) + 1 if existing else 0
+    )
+    written = 0
+    start = 0
+    while start < n or (n == 0 and written == 0):
+        stop = min(start + chunk_steps, n)
+        payload = {
+            key: np.asarray(arr)[start:stop] for key, arr in arrays.items()
+        }
+        atomic_savez(run_dir / f"chunk-{next_index + written:06d}.npz", **payload)
+        written += 1
+        start = stop
+        if n == 0:
+            break
+    return written
+
+
+def read_chunks(run_dir) -> Dict[str, np.ndarray]:
+    """Concatenate every chunk of a run back into full series (bitwise)."""
+    paths = chunk_paths(run_dir)
+    if not paths:
+        raise StoreError(f"run directory {run_dir} has no trajectory chunks")
+    pieces: Dict[str, list] = {}
+    for path in paths:
+        with np.load(path, allow_pickle=False) as data:
+            for key in data.files:
+                pieces.setdefault(key, []).append(np.array(data[key]))
+    out: Dict[str, np.ndarray] = {}
+    for key, parts in pieces.items():
+        out[key] = parts[0] if len(parts) == 1 else np.concatenate(parts, axis=0)
+    return out
+
+
+def write_state(
+    run_dir, state: TDState, parallel: Optional[Dict[str, Any]] = None
+) -> Path:
+    """Persist the run's final state (and parallel accounting) atomically."""
+    payload: Dict[str, Any] = {
+        "final_phi": np.asarray(state.phi, dtype=complex),
+        "final_sigma": np.asarray(state.sigma, dtype=complex),
+        "final_time": np.float64(state.time),
+    }
+    if parallel is not None:
+        payload["parallel_json"] = np.str_(json.dumps(parallel, sort_keys=True))
+    return atomic_savez(Path(run_dir) / "state.npz", **payload)
+
+
+def read_state(run_dir) -> Tuple[TDState, Optional[Dict[str, Any]]]:
+    """The final :class:`TDState` (+ parallel dict) written by :func:`write_state`."""
+    path = Path(run_dir) / "state.npz"
+    if not path.exists():
+        raise StoreError(f"run directory {run_dir} has no final state (state.npz)")
+    with np.load(path, allow_pickle=False) as data:
+        state = TDState(
+            phi=np.array(data["final_phi"], dtype=complex),
+            sigma=np.array(data["final_sigma"], dtype=complex),
+            time=float(data["final_time"]),
+        )
+        parallel = (
+            json.loads(str(data["parallel_json"])) if "parallel_json" in data else None
+        )
+    return state, parallel
+
+
+def record_from_arrays(arrays: Dict[str, np.ndarray]) -> PropagationRecord:
+    """Rebuild a :class:`PropagationRecord` from stored series.
+
+    ``record.as_arrays()`` on the result reproduces ``arrays`` bit for
+    bit (the round-trip the export path relies on).  Per-step solver
+    stats are not persisted — the rebuilt record carries default
+    :class:`StepStats`, exactly like a record loaded from a result npz.
+    """
+    required = ("times", "dipole", "energy", "particle_number", "field")
+    missing = [key for key in required if key not in arrays]
+    if missing:
+        raise StoreError(f"stored trajectory is missing series: {', '.join(missing)}")
+    record = PropagationRecord(
+        times=[float(t) for t in arrays["times"]],
+        dipole=list(np.asarray(arrays["dipole"])),
+        energy=[float(e) for e in arrays["energy"]],
+        particle_number=[float(x) for x in arrays["particle_number"]],
+        field_values=list(np.asarray(arrays["field"])),
+        stats=[StepStats() for _ in arrays["times"]],
+    )
+    for key, arr in arrays.items():
+        m = _SIGMA_RE.match(key)
+        if m:
+            record.sigma_samples[(int(m.group(1)), int(m.group(2)))] = [
+                complex(v) for v in arr
+            ]
+    return record

@@ -1,0 +1,542 @@
+"""repro.store: blobs, chunked records, the run index, and round-trips.
+
+The cheap structural tests run on synthetic trajectories; one real
+(tiny) simulation result backs the materialization round-trips — a
+stored run must export to exactly the bytes-for-bytes content that
+``SimulationResult.save_npz`` would have written.
+"""
+
+import json
+import os
+import sqlite3
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    ConfigError,
+    EnsembleResult,
+    ResultError,
+    Simulation,
+    SimulationConfig,
+    SimulationResult,
+)
+from repro.rt.propagator import TDState
+from repro.store import (
+    ResultStore,
+    StoreError,
+    config_hash,
+    flatten_dotted,
+    group_address,
+    parse_when,
+    parse_where,
+    run_id_for,
+)
+from repro.store.index import SqliteRunIndex, make_run_index
+from repro.store.migrate import SCHEMA_VERSION, _create_baseline
+from repro.store.records import read_chunks, write_chunks
+from repro.store.store import store_schema_info
+
+CFG = {
+    "system": {"cell": "silicon_cubic", "ecut": 2.0, "functional": "lda"},
+    "scf": {"nbands": 20, "density_tol": 1e-4, "max_scf": 40},
+    "field": {"kind": "static_kick", "params": {"kick": 0.001}},
+    "propagation": {"propagator": "ptim", "dt_as": 50.0, "n_steps": 2,
+                    "track_sigma": [[0, 2]]},
+}
+
+BACKENDS = ("sqlite", "jsonl")
+
+
+def make_config(**field_params) -> SimulationConfig:
+    data = json.loads(json.dumps(CFG))
+    data["field"]["params"].update(field_params)
+    return SimulationConfig.from_dict(data)
+
+
+def synth_arrays(n=5, seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        "times": np.arange(float(n)),
+        "dipole": rng.normal(size=(n, 3)),
+        "energy": rng.normal(size=n),
+        "particle_number": np.full(n, 8.0),
+        "field": rng.normal(size=(n, 3)),
+        "sigma_0_2": rng.normal(size=n) + 1j * rng.normal(size=n),
+    }
+
+
+def synth_state(seed=1):
+    rng = np.random.default_rng(seed)
+    return TDState(
+        phi=rng.normal(size=(2, 4)) + 1j * rng.normal(size=(2, 4)),
+        sigma=rng.normal(size=(2, 2)) + 0j,
+        time=2.5,
+    )
+
+
+@pytest.fixture(scope="module")
+def real_result() -> SimulationResult:
+    """One genuine tiny propagation (ground state included)."""
+    return Simulation.from_config(CFG).run()
+
+
+# ---------------- store directory lifecycle -----------------------------------
+
+
+def test_store_metadata_persists_across_reopen(tmp_path):
+    store = ResultStore(tmp_path / "study", backend="jsonl", chunk_steps=7)
+    store.close()
+    again = ResultStore.ensure(tmp_path / "study")
+    # creation-time choices are read back from store.json, not the args
+    assert again.backend_name == "jsonl"
+    assert again.chunk_steps == 7
+    again.close()
+
+
+def test_store_refuses_foreign_directory(tmp_path):
+    (tmp_path / "stuff.txt").write_text("not a store")
+    with pytest.raises(StoreError, match="store.json"):
+        ResultStore(tmp_path)
+
+
+def test_store_refuses_newer_store_version(tmp_path):
+    root = tmp_path / "study"
+    ResultStore(root).close()
+    meta = json.loads((root / "store.json").read_text())
+    meta["store_version"] = 99
+    (root / "store.json").write_text(json.dumps(meta))
+    with pytest.raises(StoreError, match="store_version 99"):
+        ResultStore(root)
+
+
+def test_missing_store_not_created_when_create_false(tmp_path):
+    with pytest.raises(StoreError, match="no result store"):
+        ResultStore(tmp_path / "nope", create=False)
+    assert not (tmp_path / "nope").exists()
+
+
+# ---------------- chunked trajectory records ----------------------------------
+
+
+def test_chunks_round_trip_bitwise(tmp_path):
+    arrays = synth_arrays(n=5)
+    n = write_chunks(tmp_path, arrays, chunk_steps=2)
+    assert n == 3  # 2 + 2 + 1 observations
+    back = read_chunks(tmp_path)
+    assert set(back) == set(arrays)
+    for key in arrays:
+        assert back[key].dtype == np.asarray(arrays[key]).dtype
+        assert np.array_equal(back[key], arrays[key])
+
+
+def test_chunks_append_after_existing(tmp_path):
+    write_chunks(tmp_path, synth_arrays(n=3, seed=0), chunk_steps=10)
+    write_chunks(tmp_path, synth_arrays(n=2, seed=9), chunk_steps=10)
+    back = read_chunks(tmp_path)
+    assert back["times"].shape == (5,)
+    assert np.array_equal(back["energy"][:3], synth_arrays(n=3, seed=0)["energy"])
+    assert np.array_equal(back["energy"][3:], synth_arrays(n=2, seed=9)["energy"])
+
+
+def test_ragged_series_rejected(tmp_path):
+    arrays = synth_arrays(n=4)
+    arrays["energy"] = arrays["energy"][:2]
+    with pytest.raises(StoreError, match="disagree on length"):
+        write_chunks(tmp_path, arrays, chunk_steps=10)
+
+
+# ---------------- content-addressed blobs -------------------------------------
+
+
+def test_one_ground_state_blob_per_shared_scf_group(tmp_path, real_result):
+    """N variants in one (system, scf) group store exactly one SCF blob."""
+    store = ResultStore(tmp_path / "study")
+    kicks = (0.001, 0.002, 0.003, 0.004)
+    for kick in kicks:
+        cfg = make_config(kick=kick)
+        store.add_run(
+            cfg, synth_arrays(), synth_state(),
+            ground_state=real_result.ground_state,
+        )
+    assert len(store.blobs.ground_state_addresses()) == 1
+    assert len(store.blobs.config_addresses()) == len(kicks)
+    # every run row points at the same group blob
+    addresses = {run.gs_address for run in store.query()}
+    assert addresses == {group_address(make_config(kick=0.001))}
+    # and the blob restores the ground state faithfully
+    gs = store.load_ground_state(make_config(kick=0.004))
+    assert np.array_equal(gs.orbitals, real_result.ground_state.orbitals)
+    assert np.array_equal(gs.occupations, real_result.ground_state.occupations)
+    assert gs.converged == real_result.ground_state.converged
+    store.close()
+
+
+def test_run_ids_are_config_addressed():
+    a, b = make_config(kick=0.001), make_config(kick=0.002)
+    assert run_id_for(a) == run_id_for(a)
+    assert run_id_for(a) != run_id_for(b)
+    assert run_id_for(a) == "r" + config_hash(a)[:12]
+
+
+# ---------------- index backends ----------------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_index_queries(tmp_path, backend):
+    store = ResultStore(tmp_path / backend, backend=backend)
+    for i, kick in enumerate((0.001, 0.002, 0.003)):
+        store.add_run(make_config(kick=kick), synth_arrays(seed=i), synth_state())
+    failing = make_config(kick=0.009)
+    store.mark_error(failing, "boom", overrides={"field.params.kick": 0.009})
+    assert len(store) == 4
+
+    assert [r.status for r in store.query(status="error")] == ["error"]
+    hit = store.query(where={"field.params.kick": 0.002})
+    assert [run_id_for(make_config(kick=0.002))] == [r.run_id for r in hit]
+    assert store.query(where={"field.params.kick": 0.777}) == []
+    # compound: status + dotted key
+    assert store.query(status="ok", where={"system.ecut": 2.0, "system.functional": "lda"})
+    assert store.query(status="error", where={"field.params.kick": 0.002}) == []
+
+    # time windows (everything was created just now)
+    created = [r.created for r in store.query()]
+    assert store.query(since=max(created) + 60.0) == []
+    assert len(store.query(until=max(created) + 60.0)) == 4
+    store.close()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_rerun_replaces_and_delete_forgets(tmp_path, backend):
+    store = ResultStore(tmp_path / backend, backend=backend)
+    cfg = make_config()
+    rid = store.add_run(cfg, synth_arrays(n=4), synth_state())
+    first_created = store.get(rid).created
+    rid2 = store.add_run(cfg, synth_arrays(n=9, seed=3), synth_state())
+    assert rid2 == rid  # same config, same address: latest wins
+    run = store.get(rid)
+    assert run.n_times == 9 and run.created == first_created
+    assert store.load_arrays(rid)["times"].shape == (9,)
+    store.index.delete(rid)
+    assert store.index.get(rid) is None
+    store.close()
+
+
+def test_running_rows_are_not_completed(tmp_path):
+    store = ResultStore(tmp_path / "study")
+    cfg = make_config()
+    rid = store.begin_run(cfg, overrides={"field.params.kick": 0.001})
+    assert store.get(rid).status == "running"
+    assert store.find_completed(cfg) is None  # interrupted -> re-queued
+    store.add_run(cfg, synth_arrays(), synth_state())
+    assert store.find_completed(cfg).run_id == rid
+    store.close()
+
+
+def test_append_result_guards(tmp_path, real_result):
+    store = ResultStore(tmp_path / "study")
+    with pytest.raises(StoreError, match="no run"):
+        store.append_result("r000000000000", real_result)
+    rid = store.add_result(real_result)
+    other = make_config(kick=0.42)
+    bad = SimulationResult(
+        config=other,
+        record=real_result.record,
+        final_state=real_result.final_state,
+    )
+    with pytest.raises(StoreError, match="different config"):
+        store.append_result(rid, bad)
+    store.close()
+
+
+def test_unknown_run_id_names_the_store(tmp_path):
+    store = ResultStore(tmp_path / "study")
+    with pytest.raises(StoreError, match="no run 'r123'"):
+        store.get("r123")
+    store.close()
+
+
+# ---------------- schema migration --------------------------------------------
+
+
+def _make_v1_store(root) -> str:
+    """Hand-build a version-1 store (pre-config_kv, pre-fft columns)."""
+    root.mkdir(parents=True)
+    (root / "store.json").write_text(
+        json.dumps({"store_version": 1, "backend": "sqlite", "chunk_steps": 256})
+    )
+    cfg = make_config(kick=0.005)
+    conn = sqlite3.connect(root / "index.sqlite")
+    with conn:
+        _create_baseline(conn)
+        conn.execute(
+            "INSERT INTO runs (run_id, config_hash, status, created, updated,"
+            " config_json, overrides_json) VALUES (?, ?, 'ok', 1.0, 1.0, ?, '{}')",
+            (run_id_for(cfg), config_hash(cfg), cfg.to_json()),
+        )
+    conn.close()
+    return run_id_for(cfg)
+
+
+def test_migration_v1_to_v2_backfills_dotted_keys(tmp_path):
+    rid = _make_v1_store(tmp_path / "old")
+    store = ResultStore(tmp_path / "old")
+    assert store.schema_version == SCHEMA_VERSION
+    # the v1 row is intact and now queryable through the backfilled kv table
+    assert [r.run_id for r in store.query(where={"field.params.kick": 0.005})] == [rid]
+    run = store.get(rid)
+    assert run.status == "ok" and run.fft is None
+    store.close()
+    # idempotent: reopening an already-migrated store does nothing
+    again = ResultStore(tmp_path / "old")
+    assert again.schema_version == SCHEMA_VERSION
+    again.close()
+
+
+def test_newer_sqlite_schema_refused(tmp_path):
+    ResultStore(tmp_path / "study").close()
+    conn = sqlite3.connect(tmp_path / "study" / "index.sqlite")
+    with conn:
+        conn.execute("UPDATE meta SET value = '99' WHERE key = 'schema_version'")
+    conn.close()
+    with pytest.raises(StoreError, match="schema version 99"):
+        ResultStore(tmp_path / "study")
+    # validate's peek reports it as data instead of raising
+    info = store_schema_info(tmp_path / "study")
+    assert info["schema_version"] == 99
+    assert info["code_schema_version"] == SCHEMA_VERSION
+
+
+def test_newer_jsonl_schema_refused(tmp_path):
+    root = tmp_path / "study"
+    ResultStore(root, backend="jsonl").close()
+    lines = (root / "index.jsonl").read_text().splitlines()
+    lines[0] = json.dumps({"jsonl_header": True, "schema_version": 99})
+    (root / "index.jsonl").write_text("\n".join(lines) + "\n")
+    with pytest.raises(StoreError, match="schema version 99"):
+        ResultStore(root)
+
+
+def test_unknown_backend_rejected(tmp_path):
+    with pytest.raises(StoreError, match="unknown store backend"):
+        make_run_index("mongodb", tmp_path)
+
+
+# ---------------- materialization round-trips ---------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_stored_run_exports_bit_identical_npz(tmp_path, backend, real_result):
+    """store -> load_result -> save_npz == the original save_npz payload."""
+    direct = real_result.save_npz(tmp_path / "direct.npz")
+    store = ResultStore(tmp_path / "study", backend=backend, chunk_steps=2)
+    rid = store.add_result(real_result)
+    exported = store.export(rid, tmp_path / "exported.npz")
+    with np.load(direct) as a, np.load(exported) as b:
+        assert set(a.files) == set(b.files)
+        for key in a.files:
+            assert a[key].dtype == b[key].dtype, key
+            assert np.array_equal(a[key], b[key]), key
+    store.close()
+
+
+def test_load_result_restores_state_and_accounting(tmp_path, real_result):
+    store = ResultStore(tmp_path / "study")
+    rid = store.add_result(real_result, elapsed=1.25)
+    back = store.load_result(rid, with_ground_state=True)
+    assert back.config == real_result.config
+    assert np.array_equal(back.final_state.phi, real_result.final_state.phi)
+    assert np.array_equal(back.final_state.sigma, real_result.final_state.sigma)
+    assert back.final_state.time == real_result.final_state.time
+    assert back.fft.to_dict() == real_result.fft.to_dict()
+    assert np.array_equal(
+        back.ground_state.orbitals, real_result.ground_state.orbitals
+    )
+    assert store.get(rid).elapsed == 1.25
+    # a failed run never materializes
+    bad = make_config(kick=0.9)
+    bad_id = store.mark_error(bad, "diverged")
+    with pytest.raises(StoreError, match="status 'error'"):
+        store.load_result(bad_id)
+    store.close()
+
+
+def test_simulation_propagate_store_appends(tmp_path, real_result):
+    sim = Simulation.from_config(CFG)
+    sim._gs = real_result.ground_state
+    result = sim.propagate(store=tmp_path / "study")
+    store = ResultStore.ensure(tmp_path / "study")
+    run = store.find_completed(result.config)
+    assert run is not None and run.elapsed > 0.0
+    back = store.load_arrays(run.run_id)
+    for key, arr in result.observables().items():
+        assert np.array_equal(back[key], arr), key
+    store.close()
+
+
+def test_simulation_run_reuses_stored_ground_state(tmp_path, real_result, monkeypatch):
+    store = ResultStore(tmp_path / "study")
+    store.put_ground_state(real_result.config, real_result.ground_state)
+
+    import repro.api.simulation as sim_mod
+
+    def _no_scf(*a, **k):
+        raise AssertionError("run_scf must not be called: gs is in the store")
+
+    monkeypatch.setattr(sim_mod, "run_scf", _no_scf)
+    result = Simulation.from_config(CFG).run(store=store)
+    assert np.array_equal(
+        result.ground_state.orbitals, real_result.ground_state.orbitals
+    )
+    store.close()
+
+
+# ---------------- query helpers ------------------------------------------------
+
+
+def test_parse_where_types():
+    parsed = parse_where(
+        ["field.params.kick=0.002", "propagation.propagator=ptim", "scf.nbands=20"]
+    )
+    assert parsed == {
+        "field.params.kick": 0.002,
+        "propagation.propagator": "ptim",
+        "scf.nbands": 20,
+    }
+    with pytest.raises(StoreError, match="dotted.config.key=value"):
+        parse_where(["no-equals-sign"])
+
+
+def test_parse_when_formats():
+    import datetime as dt
+
+    assert parse_when(None) is None
+    assert parse_when("1754000000") == 1754000000.0
+    expected = dt.datetime(2026, 8, 1, tzinfo=dt.timezone.utc).timestamp()
+    assert parse_when("2026-08-01") == expected  # bare dates are UTC midnight
+    with pytest.raises(StoreError, match="bad timestamp"):
+        parse_when("yesterday")
+
+
+def test_flatten_dotted_covers_param_dicts():
+    flat = flatten_dotted(make_config(kick=0.003).to_dict())
+    assert flat["field.params.kick"] == 0.003
+    assert flat["system.cell"] == "silicon_cubic"
+    assert "propagation.track_sigma" in flat  # lists stay whole values
+
+
+# ---------------- loader error surfaces (satellite 2) --------------------------
+
+
+def test_result_load_missing_file_names_path(tmp_path):
+    missing = tmp_path / "gone.npz"
+    with pytest.raises(ResultError, match="gone.npz"):
+        SimulationResult.load_npz(missing)
+    with pytest.raises(ResultError, match="gone.npz"):
+        EnsembleResult.load_npz(missing)
+    # ResultError is a ConfigError: existing except ConfigError nets catch it
+    assert issubclass(ResultError, ConfigError)
+
+
+def test_result_load_corrupt_file_names_path(tmp_path):
+    corrupt = tmp_path / "corrupt.npz"
+    corrupt.write_bytes(b"PK\x03\x04 definitely not a real zip")
+    with pytest.raises(ResultError, match="corrupt.npz"):
+        SimulationResult.load_npz(corrupt)
+    with pytest.raises(ResultError, match="corrupt.npz"):
+        EnsembleResult.load_npz(corrupt)
+
+
+def test_result_load_rejects_newer_version(tmp_path, real_result):
+    path = real_result.save_npz(tmp_path / "res.npz")
+    with np.load(path) as data:
+        payload = {k: data[k] for k in data.files}
+    payload["result_version"] = np.int64(99)
+    np.savez(tmp_path / "future.npz", **payload)
+    with pytest.raises(ResultError, match="result_version 99"):
+        SimulationResult.load_npz(tmp_path / "future.npz")
+
+
+def test_ensemble_load_rejects_newer_version(tmp_path):
+    meta = {"version": 99, "base_config": CFG, "sweep": {}, "runs": []}
+    np.savez(tmp_path / "ens.npz", ensemble_json=np.str_(json.dumps(meta)))
+    with pytest.raises(ResultError, match="version 99"):
+        EnsembleResult.load_npz(tmp_path / "ens.npz")
+
+
+def test_wrong_kind_file_rejected(tmp_path, real_result):
+    path = real_result.save_npz(tmp_path / "res.npz")
+    with pytest.raises(ResultError, match="ensemble"):
+        EnsembleResult.load_npz(path)
+
+
+# ---------------- atomic writes (satellite 1) ----------------------------------
+
+
+def _partial_then_crash():
+    """A savez stand-in that writes garbage to the target, then dies."""
+
+    def fake(path, **payload):
+        with open(path, "wb") as fh:
+            fh.write(b"partial garbage")
+        raise OSError("disk died mid-write")
+
+    return fake
+
+
+@pytest.mark.parametrize("what", ("result", "checkpoint"))
+def test_crash_mid_write_preserves_previous_file(tmp_path, real_result, what, monkeypatch):
+    sim = Simulation.from_config(CFG)
+    sim._gs = real_result.ground_state
+    target = tmp_path / f"{what}.npz"
+    if what == "result":
+        real_result.save_npz(target)
+    else:
+        sim.save_checkpoint(target)
+    before = target.read_bytes()
+
+    monkeypatch.setattr(np, "savez", _partial_then_crash())
+    with pytest.raises(OSError, match="disk died"):
+        if what == "result":
+            real_result.save_npz(target)
+        else:
+            sim.save_checkpoint(target)
+    monkeypatch.undo()
+
+    # the previous complete file is untouched and no temp files leak
+    assert target.read_bytes() == before
+    assert [p.name for p in tmp_path.iterdir()] == [target.name]
+    if what == "result":
+        SimulationResult.load_npz(target)
+    else:
+        Simulation.resume(target)
+
+
+def test_crash_mid_ensemble_write_preserves_previous_file(tmp_path, monkeypatch):
+    from repro.api import RunRecord, SweepConfig
+
+    cfg = make_config()
+    ens = EnsembleResult(
+        base_config=cfg,
+        sweep=SweepConfig.from_dict({}),
+        runs=[RunRecord(0, {}, cfg, status="ok", arrays=synth_arrays())],
+    )
+    target = tmp_path / "ens.npz"
+    ens.save_npz(target)
+    before = target.read_bytes()
+    monkeypatch.setattr(np, "savez", _partial_then_crash())
+    with pytest.raises(OSError, match="disk died"):
+        ens.save_npz(target)
+    monkeypatch.undo()
+    assert target.read_bytes() == before
+    assert EnsembleResult.load_npz(target).runs[0].status == "ok"
+    assert [p.name for p in tmp_path.iterdir()] == [target.name]
+
+
+def test_atomic_savez_appends_npz_suffix(tmp_path):
+    from repro.utils.io import atomic_savez
+
+    out = atomic_savez(tmp_path / "bare", x=np.arange(3))
+    assert out.name == "bare.npz" and out.exists()
+    with np.load(out) as data:
+        assert np.array_equal(data["x"], np.arange(3))

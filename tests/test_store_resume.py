@@ -1,0 +1,217 @@
+"""Partial-sweep resume through the result store.
+
+The acceptance scenario: a 6-variant sweep is aborted after two
+completions; re-running it against the same store must (a) restore the
+two finished variants without recomputing anything — no SCF, no
+propagation, proven by a poisoned ``run_scf`` and by per-run FFT
+tallies — and (b) produce an :class:`EnsembleResult` identical to the
+uninterrupted run, bit for bit.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import SimulationConfig, SweepConfig, run_ensemble
+from repro.api.cli import main as cli_main
+from repro.store import ResultStore
+
+BASE = {
+    "system": {"cell": "silicon_cubic", "ecut": 2.0, "functional": "lda"},
+    "scf": {"nbands": 20, "density_tol": 1e-4, "max_scf": 40},
+    "field": {"kind": "static_kick", "params": {"kick": 0.001}},
+    "propagation": {"propagator": "ptim", "dt_as": 50.0, "n_steps": 2},
+}
+
+KICKS = [0.001, 0.002, 0.003, 0.004, 0.005, 0.006]
+
+
+@pytest.fixture(scope="module")
+def base_config():
+    return SimulationConfig.from_dict(BASE)
+
+
+@pytest.fixture(scope="module")
+def sweep_config():
+    return SweepConfig.from_dict({"axes": {"field.params.kick": KICKS}})
+
+
+@pytest.fixture(scope="module")
+def uninterrupted(base_config, sweep_config):
+    """The reference: the same 6-variant sweep run start to finish."""
+    return run_ensemble(base_config, sweep_config)
+
+
+class _Abort(Exception):
+    pass
+
+
+def _abort_after(n_ok):
+    """A progress callback that kills the sweep after ``n_ok`` completions."""
+    seen = {"ok": 0}
+
+    def progress(message):
+        if message.startswith("run") and ": ok" in message:
+            seen["ok"] += 1
+            if seen["ok"] >= n_ok:
+                raise _Abort(f"killed after {n_ok} completions")
+
+    return progress
+
+
+def test_interrupted_sweep_resumes_without_recomputation(
+    tmp_path, base_config, sweep_config, uninterrupted, monkeypatch
+):
+    store_dir = tmp_path / "study"
+
+    # -- phase 1: abort the sweep after two completed variants -------------
+    with pytest.raises(_Abort):
+        run_ensemble(
+            base_config, sweep_config, progress=_abort_after(2), store=store_dir
+        )
+
+    store = ResultStore.ensure(store_dir)
+    completed = store.query(status="ok")
+    assert len(completed) == 2
+    assert len(store.blobs.ground_state_addresses()) == 1  # one shared SCF
+    store.close()
+
+    # -- phase 2: resume; completed variants must not recompute ------------
+    import repro.api.ensemble as ens_mod
+    import repro.api.simulation as sim_mod
+
+    # the shared SCF is in the store's blob cache: converging again is a bug
+    def _no_scf(*args, **kwargs):
+        raise AssertionError("run_scf called during resume: SCF was recomputed")
+
+    monkeypatch.setattr(sim_mod, "run_scf", _no_scf)
+
+    # record exactly which variants execute a propagation
+    executed = []
+    real_execute = ens_mod._execute_sim
+
+    def counting_execute(sim):
+        executed.append(float(sim.config.field.params["kick"]))
+        return real_execute(sim)
+
+    monkeypatch.setattr(ens_mod, "_execute_sim", counting_execute)
+
+    messages = []
+    resumed = run_ensemble(
+        base_config, sweep_config, progress=messages.append, store=store_dir
+    )
+
+    restored_kicks = {r.overrides["field.params.kick"] for r in resumed.runs[:2]}
+    assert sorted(executed) == sorted(set(KICKS) - restored_kicks)
+    assert len(executed) == 4
+    assert sum(": restored from store" in m for m in messages) == 2
+
+    # -- phase 3: the resumed ensemble equals the uninterrupted one --------
+    assert [r.status for r in resumed.runs] == [r.status for r in uninterrupted.runs]
+    assert [r.config for r in resumed.runs] == [r.config for r in uninterrupted.runs]
+    for ours, ref in zip(resumed.runs, uninterrupted.runs):
+        assert set(ours.arrays) == set(ref.arrays)
+        for key in ref.arrays:
+            assert ours.arrays[key].dtype == ref.arrays[key].dtype, (ours.index, key)
+            assert np.array_equal(ours.arrays[key], ref.arrays[key]), (ours.index, key)
+        # per-run FFT tallies match the reference exactly: the restored
+        # runs carry their *stored* counts (nothing re-transformed), the
+        # re-run ones recompute to the identical tally
+        assert ours.fft.to_dict() == ref.fft.to_dict(), ours.index
+    ours_npz = tmp_path / "resumed.npz"
+    ref_npz = tmp_path / "reference.npz"
+    resumed.save_npz(ours_npz)
+    uninterrupted.save_npz(ref_npz)
+    with np.load(ours_npz) as a, np.load(ref_npz) as b:
+        assert set(a.files) == set(b.files)
+        for key in a.files:
+            if key == "ensemble_json":
+                ours_meta = json.loads(str(a[key]))
+                ref_meta = json.loads(str(b[key]))
+                # elapsed is wall time (restored runs keep the stored one)
+                for entry in (*ours_meta["runs"], *ref_meta["runs"]):
+                    entry.pop("elapsed")
+                assert ours_meta == ref_meta
+            else:
+                assert np.array_equal(a[key], b[key]), key
+
+    # a second resume restores everything: the sweep is fully durable
+    fully = run_ensemble(base_config, sweep_config, store=store_dir)
+    assert all(r.ok for r in fully.runs)
+    assert len(executed) == 4  # no new propagation ran
+
+
+def test_failed_runs_are_requeued(tmp_path, base_config, monkeypatch):
+    sweep = SweepConfig.from_dict({"axes": {"field.params.kick": [0.001, 0.002]}})
+    store_dir = tmp_path / "study"
+
+    import repro.api.ensemble as ens_mod
+
+    real_execute = ens_mod._execute_sim
+    calls = {"n": 0}
+
+    def flaky_execute(sim):
+        calls["n"] += 1
+        if float(sim.config.field.params["kick"]) == 0.002:
+            raise RuntimeError("transient failure")
+        return real_execute(sim)
+
+    monkeypatch.setattr(ens_mod, "_execute_sim", flaky_execute)
+    first = run_ensemble(base_config, sweep, store=store_dir)
+    assert [r.status for r in first.runs] == ["ok", "error"]
+    store = ResultStore.ensure(store_dir)
+    assert [r.status for r in store.query()] == ["ok", "error"]
+    store.close()
+
+    monkeypatch.setattr(ens_mod, "_execute_sim", real_execute)
+    second = run_ensemble(base_config, sweep, store=store_dir)
+    assert all(r.ok for r in second.runs)  # the error row was re-queued
+    store = ResultStore.ensure(store_dir)
+    assert [r.status for r in store.query()] == ["ok", "ok"]
+    store.close()
+
+
+def test_store_backed_sweep_on_pool_schedulers(tmp_path, base_config):
+    """Thread and process schedulers persist full runs (parent-side writes)."""
+    sweep = SweepConfig.from_dict({"axes": {"field.params.kick": [0.001, 0.002]}})
+    for mode in ("thread", "process"):
+        store_dir = tmp_path / mode
+        result = run_ensemble(
+            base_config, sweep, workers=2, scheduler=mode, store=store_dir
+        )
+        assert all(r.ok for r in result.runs)
+        store = ResultStore.ensure(store_dir)
+        runs = store.query(status="ok")
+        assert len(runs) == 2
+        for run in runs:
+            back = store.load_result(run.run_id)  # state.npz present + parses
+            assert back.final_state.phi.size > 0
+            assert back.fft is not None and back.fft.transforms > 0
+        store.close()
+
+
+def test_cli_sweep_store_resume(tmp_path, capsys):
+    """``repro sweep --store`` end-to-end: second invocation restores all."""
+    config = dict(BASE)
+    config["sweep"] = {
+        "axes": {"field.params.kick": [0.001, 0.002]},
+        "scheduler": "serial",
+    }
+    config_path = tmp_path / "sweep.json"
+    config_path.write_text(json.dumps(config))
+    store_dir = str(tmp_path / "study")
+
+    assert cli_main(["sweep", str(config_path), "--store", store_dir]) == 0
+    first = capsys.readouterr().out
+    assert "2/2 runs ok" in first and "restored" not in first
+
+    assert cli_main(["sweep", str(config_path), "--store", store_dir]) == 0
+    second = capsys.readouterr().out
+    assert "2/2 runs ok" in second
+    assert second.count("restored from store") == 2
+
+    # the stored runs are visible to the query CLI
+    assert cli_main(["results", "ls", store_dir, "--status", "ok"]) == 0
+    listing = capsys.readouterr().out
+    assert "2 run(s)" in listing
