@@ -1,0 +1,95 @@
+"""Submit a family of jobs to a repro job server, watch, and fetch.
+
+The client side of ``repro serve``: build three delta-kick variants of
+a tiny silicon config, POST them to the server, poll until the queue
+resolves them, then download the first finished run as a standalone
+result ``.npz``.  The three variants share one ``(system, scf,
+backend)`` group, so the server converges a single ground state and
+every worker propagates from that shared blob.
+
+Point it at a running server (``python -m repro serve
+examples/configs/serve.toml``) — or at nothing: when no server answers,
+the script boots a private in-process :class:`JobService` on an
+ephemeral port so the demo is self-contained.
+
+Run:  python examples/submit_jobs.py [url]
+"""
+
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.api import SimulationConfig
+from repro.serve import JobService, ServeClient, ServeError
+
+KICKS = [1e-3, 2e-3, 3e-3]
+
+BASE = {
+    "system": {"cell": "silicon_cubic", "ecut": 2.0, "functional": "lda"},
+    "scf": {"temperature_k": 8000.0, "nbands": 20, "density_tol": 1e-4},
+    "field": {"kind": "static_kick", "params": {"kick": KICKS[0]}},
+    "propagation": {"propagator": "ptim", "dt_as": 50.0, "n_steps": 4},
+}
+
+
+def variants():
+    for kick in KICKS:
+        data = json.loads(json.dumps(BASE))
+        data["field"]["params"]["kick"] = kick
+        yield kick, SimulationConfig.from_dict(data)
+
+
+def drive(client: ServeClient) -> None:
+    print(f"server: {client.url} | version {client.healthz()['version']}")
+
+    jobs = {}
+    for kick, config in variants():
+        job = client.submit(config)
+        jobs[job["job_id"]] = kick
+        print(f"submitted {job['job_id']} [{job['status']}] kick={kick}")
+
+    for job_id, kick in jobs.items():
+        def line(job):
+            bar = int(20 * job["progress"])
+            print(
+                f"\r{job_id} [{'#' * bar}{'.' * (20 - bar)}] "
+                f"{job['status']:<8} {job.get('message') or '':<24}",
+                end="", flush=True,
+            )
+
+        final = client.wait(job_id, timeout_s=600.0, progress=line)
+        print()
+        if final["status"] != "ok":
+            raise SystemExit(f"{job_id} finished {final['status']}: {final.get('error')}")
+        print(f"{job_id} ok -> run {final['run_id']} (kick={kick})")
+
+    stats = client.stats()
+    print(
+        f"store now holds {stats['stored_runs']} run(s) and "
+        f"{stats['ground_state_blobs']} ground-state blob(s) "  # 1: coalesced
+        f"across {stats['total_jobs']} job(s)"
+    )
+
+    first = next(iter(jobs))
+    out = Path("submit_first_result.npz")
+    client.fetch(first, out)
+    print(f"fetched {first} -> {out} ({out.stat().st_size} bytes)")
+
+
+def main(url: str = "http://127.0.0.1:8752") -> None:
+    client = ServeClient(url)
+    try:
+        client.healthz()
+    except ServeError:
+        print(f"no server at {url}; booting a private one (ephemeral port)")
+        with tempfile.TemporaryDirectory() as tmp, JobService(
+            Path(tmp) / "store", port=0, workers=2
+        ) as service:
+            drive(ServeClient(service.url))
+        return
+    drive(client)
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:2])

@@ -18,9 +18,11 @@ from repro.api.config import (
     PropagationConfig,
     ResultError,
     SCFConfig,
+    ServeConfig,
     SimulationConfig,
     SweepConfig,
     SystemConfig,
+    load_serve_file,
     load_sweep_file,
 )
 from repro.api.ensemble import (
@@ -76,9 +78,11 @@ __all__ = [
     "ParallelConfig",
     "PropagationConfig",
     "SCFConfig",
+    "ServeConfig",
     "SimulationConfig",
     "SweepConfig",
     "SystemConfig",
+    "load_serve_file",
     "load_sweep_file",
     "EnsembleResult",
     "FFTCoverage",

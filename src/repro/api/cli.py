@@ -17,6 +17,13 @@ Commands
 ``results ls|show|export STORE``
     Query a result store's run index, materialize a stored run back
     into a full result, or export it as a standalone ``.npz``.
+``serve CONFIG``
+    Run the long-lived job service over a result store: durable queue,
+    process worker pool, HTTP/JSON API (see :mod:`repro.serve`).
+``submit CONFIG``
+    Submit a config (or its ``[sweep]`` expansion) to a running server.
+``jobs ls|show|watch|fetch|cancel``
+    Inspect and manage jobs on a running server.
 ``components``
     List every registered cell / functional / field / propagator /
     store backend.
@@ -77,7 +84,13 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--store", default=None, metavar="DIR",
         help="append the finished run to a result store (created if missing; "
-             "a cached group ground state in the store skips the SCF)",
+             "a cached group ground state in the store skips the SCF, and an "
+             "identical completed run is reused outright)",
+    )
+    run.add_argument(
+        "--rerun", action="store_true",
+        help="recompute even when the store already holds a completed run "
+             "for this exact config",
     )
     run.add_argument("--quiet", action="store_true", help="suppress the observable table")
 
@@ -137,7 +150,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     res_ls.add_argument(
         "--until", default=None, metavar="WHEN",
-        help="only runs created at/before WHEN (ISO date or unix timestamp)",
+        help="only runs created at/before WHEN (ISO date or unix timestamp; "
+             "a plain date covers through the end of that day)",
+    )
+    res_ls.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="show at most N runs (creation order)",
+    )
+    res_ls.add_argument(
+        "--offset", type=int, default=0, metavar="N",
+        help="skip the first N matching runs (paging with --limit)",
     )
     res_show = rsub.add_parser(
         "show", help="materialize one stored run and print its summary"
@@ -153,6 +175,72 @@ def _build_parser() -> argparse.ArgumentParser:
     res_export.add_argument("store", help="result-store directory")
     res_export.add_argument("run_id", help="run id (see: repro results ls)")
     res_export.add_argument("output", metavar="NPZ", help="output path")
+
+    serve = sub.add_parser(
+        "serve", help="run the job service (durable queue + worker pool + HTTP API)"
+    )
+    serve.add_argument(
+        "config",
+        help="config file; its [serve] section sets host/port/workers/"
+             "timeout/retries/store, all overridable by flags",
+    )
+    serve.add_argument("--store", default=None, metavar="DIR",
+                       help="result-store directory (overrides serve.store)")
+    serve.add_argument("--host", default=None, help="bind address (overrides serve.host)")
+    serve.add_argument("--port", type=int, default=None,
+                       help="bind port, 0 for ephemeral (overrides serve.port)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="worker process count (overrides serve.workers)")
+    serve.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="per-job wall-clock budget in seconds, 0 = none "
+                            "(overrides serve.timeout)")
+    serve.add_argument("--retries", type=int, default=None, metavar="N",
+                       help="attempts per job before it lands in error "
+                            "(overrides serve.retries)")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress per-request log lines")
+
+    submit = sub.add_parser("submit", help="submit a config to a running job server")
+    submit.add_argument(
+        "config",
+        help="config file; a [sweep] section submits every expanded variant",
+    )
+    submit.add_argument("--url", default="http://127.0.0.1:8752",
+                        help="job-server address (default %(default)s)")
+    submit.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="per-job wall-clock budget (server default otherwise)")
+    submit.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="attempts per job (server default otherwise)")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until every submitted job is terminal; "
+                             "exit nonzero when any failed")
+
+    jobs = sub.add_parser("jobs", help="inspect and manage jobs on a running server")
+    jsub = jobs.add_subparsers(dest="jobs_command", required=True)
+    jobs_ls = jsub.add_parser("ls", help="list jobs")
+    jobs_ls.add_argument("--status", choices=("queued", "running", "ok", "error", "cancelled"),
+                         default=None, help="only jobs in this state")
+    jobs_ls.add_argument("--limit", type=int, default=None, metavar="N")
+    jobs_ls.add_argument("--offset", type=int, default=0, metavar="N")
+    jobs_show = jsub.add_parser("show", help="one job: status, progress, attempt history")
+    jobs_show.add_argument("job_id")
+    jobs_show.add_argument("--config", action="store_true",
+                           help="also print the job's full config JSON")
+    jobs_watch = jsub.add_parser(
+        "watch", help="poll one job (or the whole queue) until it settles"
+    )
+    jobs_watch.add_argument("job_id", nargs="?", default=None,
+                            help="job to watch (default: until the queue drains)")
+    jobs_watch.add_argument("--timeout", type=float, default=3600.0, metavar="S",
+                            help="give up after S seconds (default %(default)s)")
+    jobs_fetch = jsub.add_parser("fetch", help="download a finished job's result .npz")
+    jobs_fetch.add_argument("job_id")
+    jobs_fetch.add_argument("output", metavar="NPZ", help="output path")
+    jobs_cancel = jsub.add_parser("cancel", help="cancel a queued or running job")
+    jobs_cancel.add_argument("job_id")
+    for jp in (jobs_ls, jobs_show, jobs_watch, jobs_fetch, jobs_cancel):
+        jp.add_argument("--url", default="http://127.0.0.1:8752",
+                        help="job-server address (default %(default)s)")
 
     sub.add_parser("components", help="list registered cells/functionals/fields/propagators")
 
@@ -235,6 +323,26 @@ def _cmd_run(args) -> int:
         from repro.store import ResultStore
 
         store = ResultStore.ensure(args.store)
+        if not args.rerun:
+            done = store.find_completed(cfg)
+            if done is not None:
+                # idempotent by content: the store already holds this exact
+                # config's completed run — reuse it instead of appending a
+                # recomputed copy of the same trajectory
+                print(
+                    f"run {done.run_id} reused from {store.root} "
+                    f"(identical config already completed; --rerun to recompute)"
+                )
+                result = store.load_result(
+                    done.run_id, with_ground_state=bool(args.checkpoint)
+                )
+                sim = Simulation(
+                    cfg,
+                    ground_state=result.ground_state,
+                    state=result.final_state,
+                )
+                _finish(sim, result, args)
+                return 0
         cached = store.load_ground_state(cfg)
         if cached is not None:
             sim._gs = cached
@@ -434,7 +542,9 @@ def _cmd_results(args) -> int:
                 status=args.status,
                 where=parse_where(args.where),
                 since=parse_when(args.since),
-                until=parse_when(args.until),
+                until=parse_when(args.until, end=True),
+                limit=args.limit,
+                offset=args.offset,
             )
             print(
                 f"{'run id':<14} {'status':<8} {'created (UTC)':<20} "
@@ -446,7 +556,13 @@ def _cmd_results(args) -> int:
                     f"{run.run_id:<14} {run.status:<8} {run.created_iso():<20} "
                     f"{run.elapsed:>8.2f} {run.n_times:>6}  {run.label()}{note}"
                 )
-            print(f"{len(runs)} run(s) in {store.root}")
+            if args.limit is not None or args.offset:
+                print(
+                    f"{len(runs)} run(s) shown (offset {args.offset}) "
+                    f"of {len(store)} total in {store.root}"
+                )
+            else:
+                print(f"{len(runs)} run(s) in {store.root}")
         elif args.results_command == "show":
             run = store.get(args.run_id)
             print(f"run {run.run_id} [{run.label()}]: {run.status}")
@@ -477,6 +593,178 @@ def _cmd_results(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import time
+
+    from repro.api.config import ConfigError, load_serve_file
+    from repro.serve import JobService
+
+    base, serve_cfg = load_serve_file(args.config)
+    store_path = args.store if args.store is not None else serve_cfg.store
+    if not store_path:
+        raise ConfigError(
+            f"{args.config} has no serve.store and no --store was given; "
+            f"the job service needs a result store to persist into"
+        )
+    service = JobService(
+        store_path,
+        host=args.host if args.host is not None else serve_cfg.host,
+        port=args.port if args.port is not None else serve_cfg.port,
+        workers=args.workers if args.workers is not None else serve_cfg.workers,
+        timeout=args.timeout if args.timeout is not None else serve_cfg.timeout,
+        retries=args.retries if args.retries is not None else serve_cfg.retries,
+        backoff=serve_cfg.backoff,
+        log_requests=not args.quiet,
+    )
+    service.start()
+    try:
+        print(
+            f"repro serve: {service.url} | store {service.store.root} | "
+            f"{service.pool.n_workers} worker(s) | "
+            f"timeout {service.timeout:g}s | retries {service.retries}"
+        )
+        if service.recovered:
+            print(f"recovered {service.recovered} interrupted job(s) from the store")
+        print("submit with: repro submit CONFIG --url " + service.url)
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        print("\nshutting down ...")
+    finally:
+        service.stop()
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.api.config import load_sweep_file
+    from repro.api.ensemble import expand_sweep
+    from repro.serve import ServeClient
+
+    base, sweep = load_sweep_file(args.config)
+    variants = expand_sweep(base, sweep)
+    client = ServeClient(args.url)
+    submitted = []
+    for v in variants:
+        job = client.submit(
+            v.config, max_attempts=args.retries, timeout=args.timeout
+        )
+        submitted.append(job)
+        print(f"{job['job_id']}  {job['status']:<8} {v.label()}")
+    if not args.wait:
+        print(f"{len(submitted)} job(s) submitted to {args.url}")
+        return 0
+    failed = 0
+    for job in submitted:
+        final = client.wait(job["job_id"])
+        line = f"{final['job_id']}  {final['status']:<8}"
+        if final["status"] == "ok":
+            line += f" run {final['run_id']}"
+        else:
+            failed += 1
+            if final["error"]:
+                line += f" {final['error'].splitlines()[0]}"
+        print(line)
+    return 1 if failed else 0
+
+
+def _watch_line(job) -> str:
+    bar = int(round(20 * float(job["progress"] or 0.0)))
+    return (
+        f"{job['job_id']}  {job['status']:<8} "
+        f"[{'#' * bar}{'.' * (20 - bar)}] {100 * float(job['progress'] or 0):3.0f}%"
+        f"  {job['message'] or ''}"
+    )
+
+
+def _cmd_jobs(args) -> int:
+    import sys as _sys
+    import time
+
+    from repro.serve import ServeClient
+
+    client = ServeClient(args.url)
+    if args.jobs_command == "ls":
+        jobs = client.jobs(status=args.status, limit=args.limit, offset=args.offset)
+        print(
+            f"{'job id':<14} {'status':<9} {'att':>3} {'progress':>8} "
+            f"{'run id':<14} note"
+        )
+        for job in jobs:
+            note = ""
+            if job["error"]:
+                note = f"!! {job['error'].splitlines()[0]}"
+            elif job["message"]:
+                note = job["message"]
+            print(
+                f"{job['job_id']:<14} {job['status']:<9} {job['attempts']:>3} "
+                f"{100 * float(job['progress'] or 0):>7.0f}% "
+                f"{job['run_id'] or '-':<14} {note}"
+            )
+        print(f"{len(jobs)} job(s) on {args.url}")
+        return 0
+    if args.jobs_command == "show":
+        job = client.job(args.job_id)
+        print(f"job {job['job_id']}: {job['status']}")
+        print(
+            f"  attempts {job['attempts']}/{job['max_attempts']} | "
+            f"progress {100 * float(job['progress'] or 0):.0f}% | "
+            f"timeout {job['timeout']:g}s | worker {job['worker'] or '-'}"
+        )
+        if job["run_id"]:
+            print(f"  run {job['run_id']}")
+        if job["error"]:
+            print(f"  error: {job['error'].splitlines()[0]}")
+        for att in job.get("history", []):
+            took = (
+                f"{att['finished'] - att['started']:.2f}s"
+                if att["finished"] and att["started"] else "-"
+            )
+            print(
+                f"  attempt {att['attempt']}: {att['outcome'] or 'running'} "
+                f"on {att['worker'] or '-'} ({took})"
+            )
+        if args.config:
+            import json as _json
+
+            print(_json.dumps(job["config"], indent=2, sort_keys=True))
+        return 0
+    if args.jobs_command == "watch":
+        if args.job_id is not None:
+            final = client.wait(
+                args.job_id,
+                timeout_s=args.timeout,
+                progress=lambda j: print("\r" + _watch_line(j), end="", flush=True),
+            )
+            print()
+            return 0 if final["status"] == "ok" else 1
+        deadline = time.monotonic() + args.timeout
+        while True:
+            stats = client.stats()
+            counts = stats["jobs"]
+            print(
+                f"\rqueued {counts['queued']}  running {counts['running']}  "
+                f"ok {counts['ok']}  error {counts['error']}  "
+                f"cancelled {counts['cancelled']}   ",
+                end="", flush=True,
+            )
+            if counts["queued"] == 0 and counts["running"] == 0:
+                print()
+                return 1 if counts["error"] else 0
+            if time.monotonic() >= deadline:
+                print()
+                print(f"error: queue not drained after {args.timeout:g}s", file=_sys.stderr)
+                return 1
+            time.sleep(0.5)
+    if args.jobs_command == "fetch":
+        path = client.fetch(args.job_id, args.output)
+        print(f"job {args.job_id} result saved to {path}")
+        return 0
+    # cancel
+    job = client.cancel(args.job_id)
+    print(f"job {job['job_id']} is now {job['status']}")
+    return 0
+
+
 def _cmd_components(args) -> int:
     for kind, names in available_components().items():
         print(f"{kind}: {', '.join(names)}")
@@ -497,6 +785,9 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "validate": _cmd_validate,
     "results": _cmd_results,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "jobs": _cmd_jobs,
     "components": _cmd_components,
     "perf": _cmd_perf,
 }

@@ -414,6 +414,90 @@ class SweepConfig(_Section):
         return n
 
 
+@dataclass(frozen=True)
+class ServeConfig:
+    """``repro serve`` settings: bind address, worker pool, job policy.
+
+    Lives in a ``[serve]`` section of an ordinary config file but —
+    like ``[sweep]`` — is *not* part of :class:`SimulationConfig`:
+    where a service listens or how many workers it runs must not
+    perturb the content hash of the simulations it executes.
+
+    ``timeout`` is the per-job wall-clock budget in seconds (0 disables
+    it); ``retries`` is how many *attempts* a job gets before it lands
+    in ``error`` (crashes and timeouts count); ``backoff`` seeds the
+    exponential delay between retries.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8752
+    workers: int = 2
+    timeout: float = 0.0
+    retries: int = 3
+    backoff: float = 0.5
+    store: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        _check(
+            isinstance(self.host, str) and self.host != "",
+            "serve.host must be a non-empty string",
+        )
+        _check(
+            isinstance(self.port, int) and 0 <= self.port <= 65535,
+            f"serve.port must be an integer in [0, 65535], got {self.port!r}",
+        )
+        _check(
+            isinstance(self.workers, int) and self.workers >= 1,
+            f"serve.workers must be an integer >= 1, got {self.workers!r}",
+        )
+        _check(self.timeout >= 0.0, f"serve.timeout must be >= 0, got {self.timeout}")
+        _check(
+            isinstance(self.retries, int) and self.retries >= 1,
+            f"serve.retries must be an integer >= 1, got {self.retries!r}",
+        )
+        _check(self.backoff >= 0.0, f"serve.backoff must be >= 0, got {self.backoff}")
+        if self.store is not None:
+            _check(
+                isinstance(self.store, str) and self.store != "",
+                f"serve.store must be a non-empty directory path, got {self.store!r}",
+            )
+
+    @classmethod
+    def from_dict(cls, data: Optional[Mapping[str, Any]]) -> "ServeConfig":
+        data = dict(data or {})
+        valid = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - valid)
+        _check(
+            not unknown,
+            f"unknown key(s) {', '.join('serve.' + k for k in unknown)}; "
+            f"valid keys: {', '.join(sorted(valid))}",
+        )
+        try:
+            return cls(**data)
+        except TypeError as exc:
+            raise ConfigError(f"bad serve section: {exc}") from exc
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        if out["store"] is None:
+            del out["store"]
+        return out
+
+
+def load_serve_file(path) -> Tuple["SimulationConfig", ServeConfig]:
+    """Read a serve config: ordinary simulation sections + ``[serve]``.
+
+    The simulation sections define the server's *default* job (what
+    ``repro submit`` sends when pointed at the same file); a ``[sweep]``
+    section, if present, is tolerated and dropped so one file can drive
+    both ``repro sweep`` and ``repro serve``.
+    """
+    data = dict(_read_config_file(path))
+    serve = ServeConfig.from_dict(data.pop("serve", None))
+    data.pop("sweep", None)
+    return SimulationConfig.from_dict(data), serve
+
+
 def check_config_matches(
     found: "SimulationConfig",
     expected: Optional["SimulationConfig"],
@@ -445,6 +529,9 @@ def load_sweep_file(path) -> Tuple["SimulationConfig", SweepConfig]:
     """
     data = dict(_read_config_file(path))
     sweep = SweepConfig.from_dict(data.pop("sweep", None))
+    # a [serve] section is dropped, mirroring load_serve_file dropping
+    # [sweep] — one file can drive run, sweep, serve, and submit
+    data.pop("serve", None)
     return SimulationConfig.from_dict(data), sweep
 
 

@@ -416,6 +416,7 @@ class Simulation:
         dt_as: Optional[float] = None,
         observe_every: Optional[int] = None,
         store=None,
+        progress=None,
     ) -> SimulationResult:
         """Run the configured propagation from the current state.
 
@@ -427,6 +428,10 @@ class Simulation:
         path) appends the finished result — trajectory, final state,
         config, and the converged ground state of its shared-SCF group —
         to the study's result store before returning.
+
+        ``progress`` is an optional ``callable(step, n_steps)`` invoked
+        after every completed propagation step — the hook ``repro
+        serve`` workers use to publish live job progress.
         """
         if store is not None:
             from repro.store import ResultStore
@@ -457,6 +462,7 @@ class Simulation:
             dt=dt_as * AU_PER_ATTOSECOND,
             n_steps=n_steps,
             observe_every=observe_every,
+            on_step=progress,
         )
         self._state = final
         fft = counters.since(before) if counters is not None else None
@@ -481,7 +487,7 @@ class Simulation:
             store.add_result(result, elapsed=_time.perf_counter() - started)
         return result
 
-    def run(self, store=None) -> SimulationResult:
+    def run(self, store=None, progress=None) -> SimulationResult:
         """Ground state + full configured propagation (the CLI entry).
 
         With a ``store``, the SCF for this config's shared-SCF group is
@@ -495,7 +501,7 @@ class Simulation:
             if self._gs is None:
                 self._gs = store.load_ground_state(self.config)
         self.ground_state()
-        return self.propagate(store=store)
+        return self.propagate(store=store, progress=progress)
 
     # -- checkpointing --------------------------------------------------------
     def save_checkpoint(self, path) -> Path:

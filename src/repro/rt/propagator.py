@@ -171,13 +171,22 @@ class PropagatorBase:
         self.record.stats.append(stats or StepStats())
 
     def propagate(
-        self, state: TDState, dt: float, n_steps: int, observe_every: int = 1
+        self,
+        state: TDState,
+        dt: float,
+        n_steps: int,
+        observe_every: int = 1,
+        on_step=None,
     ) -> TDState:
         """Run ``n_steps`` of size ``dt``, recording observables.
 
         The initial state is recorded before the first step, and the
         final state is always recorded — even when ``n_steps`` is not a
         multiple of ``observe_every``.
+
+        ``on_step(n, n_steps)`` (when given) is called after each
+        completed step — the hook the job service uses to report live
+        progress; exceptions it raises abort the propagation.
         """
         require(dt > 0 and n_steps >= 0, "dt must be positive, n_steps >= 0")
         require(observe_every >= 1, "observe_every must be >= 1")
@@ -196,6 +205,8 @@ class PropagatorBase:
             if n % observe_every == 0:
                 self.observe(state, stats)
                 last_observed = n
+            if on_step is not None:
+                on_step(n, n_steps)
         if last_observed != n_steps and n_steps > 0:
             self.observe(state, stats)
         return state

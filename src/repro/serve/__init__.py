@@ -1,0 +1,42 @@
+"""``repro.serve`` — a long-running simulation job service.
+
+Built on :mod:`repro.store`: jobs are durable rows in the store's own
+schema-versioned index (they survive server restarts), results land in
+the same content-addressed store every other entry point reads, and
+concurrent jobs sharing a ``(system, scf, backend)`` group coalesce
+onto one SCF through the store's ground-state blob cache.
+
+Layers
+------
+:class:`~repro.serve.queue.JobQueue`
+    The durable queue: submit/claim/retry/recover as atomic SQLite
+    transactions against the study's ``index.sqlite``.
+:mod:`repro.serve.worker`
+    The worker-process entry point: claim → (cached? shared SCF?) →
+    propagate with live progress → append to the store.
+:class:`~repro.serve.pool.WorkerPool`
+    Spawned worker processes plus the supervisor logic: respawn dead
+    workers, requeue their jobs, enforce per-job deadlines.
+:class:`~repro.serve.service.JobService`
+    The composed server: store + queue + pool + a stdlib
+    ``ThreadingHTTPServer`` JSON API.
+:class:`~repro.serve.client.ServeClient`
+    Stdlib HTTP client used by ``repro submit`` / ``repro jobs``.
+
+Entry points: ``repro serve CONFIG``, ``repro submit CONFIG --url``,
+``repro jobs ls|show|watch|fetch|cancel``.
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.pool import WorkerPool
+from repro.serve.queue import JOB_STATUSES, JobQueue
+from repro.serve.service import JobService
+
+__all__ = [
+    "JOB_STATUSES",
+    "JobQueue",
+    "JobService",
+    "ServeClient",
+    "ServeError",
+    "WorkerPool",
+]

@@ -1,0 +1,145 @@
+"""Stdlib HTTP client for a running ``repro serve`` instance.
+
+Wraps :mod:`urllib.request` — the same zero-dependency stance as the
+server — and is what ``repro submit`` / ``repro jobs`` drive.  Server
+error bodies (``{"error": ...}``) surface as :class:`ServeError` with
+the server's message, so CLI users see "job j1a2b3 is queued" rather
+than a bare HTTP 409.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+
+class ServeError(ValueError):
+    """A job-service request failed; carries the HTTP status.
+
+    Subclasses :class:`ValueError` so the CLI's error net prints it as
+    a user-facing message.
+    """
+
+    def __init__(self, message: str, status: int = 0) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServeClient:
+    """Talk to one job server at ``url`` (e.g. ``http://127.0.0.1:8752``)."""
+
+    def __init__(self, url: str, timeout_s: float = 30.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout_s = float(timeout_s)
+
+    # -- plumbing -------------------------------------------------------------
+    def _request(self, path: str, payload: Optional[Dict[str, Any]] = None):
+        data = json.dumps(payload).encode() if payload is not None else None
+        req = urllib.request.Request(
+            self.url + path,
+            data=data,
+            headers={"Content-Type": "application/json"} if data else {},
+            method="POST" if data is not None or path.endswith("/cancel") else "GET",
+        )
+        try:
+            return urllib.request.urlopen(req, timeout=self.timeout_s)
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read()).get("error", str(exc))
+            except Exception:  # noqa: BLE001 - body may not be JSON
+                message = str(exc)
+            raise ServeError(message, status=exc.code) from exc
+        except urllib.error.URLError as exc:
+            raise ServeError(
+                f"cannot reach job server at {self.url} ({exc.reason}); "
+                f"is `repro serve` running?"
+            ) from exc
+
+    def _json(self, path: str, payload: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        with self._request(path, payload) as resp:
+            return json.loads(resp.read())
+
+    # -- API ------------------------------------------------------------------
+    def healthz(self) -> Dict[str, Any]:
+        return self._json("/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._json("/stats")
+
+    def submit(
+        self,
+        config,
+        max_attempts: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Submit a config (a :class:`SimulationConfig` or nested dict)."""
+        if hasattr(config, "to_dict"):
+            config = config.to_dict()
+        payload: Dict[str, Any] = {"config": config}
+        if max_attempts is not None:
+            payload["max_attempts"] = int(max_attempts)
+        if timeout is not None:
+            payload["timeout"] = float(timeout)
+        return self._json("/jobs", payload)
+
+    def jobs(
+        self, status: Optional[str] = None, limit: Optional[int] = None,
+        offset: int = 0,
+    ) -> List[Dict[str, Any]]:
+        query = []
+        if status is not None:
+            query.append(f"status={status}")
+        if limit is not None:
+            query.append(f"limit={int(limit)}")
+        if offset:
+            query.append(f"offset={int(offset)}")
+        path = "/jobs" + ("?" + "&".join(query) if query else "")
+        return self._json(path)["jobs"]
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._json(f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._json(f"/jobs/{job_id}/cancel", payload={})
+
+    def wait(
+        self, job_id: str, timeout_s: float = 600.0, poll_s: float = 0.25,
+        progress=None,
+    ) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal status; returns it.
+
+        ``progress`` (when given) is called with the job dict on every
+        poll — the hook ``repro jobs watch`` uses to render a live line.
+        """
+        import time
+
+        deadline = time.monotonic() + timeout_s
+        while True:
+            job = self.job(job_id)
+            if progress is not None:
+                progress(job)
+            if job["status"] in ("ok", "error", "cancelled"):
+                return job
+            if time.monotonic() >= deadline:
+                raise ServeError(
+                    f"job {job_id} still {job['status']} after {timeout_s:g}s"
+                )
+            time.sleep(poll_s)
+
+    def fetch(self, job_id: str, path) -> Path:
+        """Download a finished job's result ``.npz`` to ``path``."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with self._request(f"/jobs/{job_id}/result") as resp:
+            tmp = path.with_name(path.name + ".part")
+            with tmp.open("wb") as fh:
+                while True:
+                    chunk = resp.read(1 << 16)
+                    if not chunk:
+                        break
+                    fh.write(chunk)
+            tmp.replace(path)
+        return path

@@ -1,0 +1,150 @@
+"""Coalescing ground-state cache: one SCF per shared group, servicewide.
+
+Jobs whose configs share a ``(system, scf, backend-engine)``
+:func:`~repro.store.common.group_key` need the same converged ground
+state — exactly the sharing rule ensemble sweeps already use.  Under
+the job service those jobs run in *different processes*, so coalescing
+needs a cross-process election: the first worker to reach a group takes
+a lease (an ``O_EXCL`` lock file next to the blob), converges, and
+publishes the blob through the store; the rest poll for the blob
+instead of burning cores on identical SCFs.
+
+The protocol is safe even when it degrades:
+
+- a leaseholder that dies leaves a lock file whose pid is gone — the
+  next worker detects the stale lease, steals it, and converges;
+- a waiter that times out simply converges independently — the blob
+  write is content-addressed and idempotent (first writer wins), so a
+  duplicate SCF wastes time but can never corrupt the cache or produce
+  a second blob.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Callable, Optional, Tuple
+
+from repro.api.config import SimulationConfig
+from repro.scf.groundstate import GroundState
+from repro.store.common import group_address
+
+#: how long a waiter polls for the leaseholder's blob before giving up
+#: and converging independently
+DEFAULT_WAIT_S = 600.0
+
+#: poll interval while waiting on another worker's SCF
+DEFAULT_POLL_S = 0.2
+
+
+def _pid_alive(pid: int) -> bool:
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+class GroundStateLease:
+    """The SCF lease file for one shared-SCF group."""
+
+    def __init__(self, store, config: SimulationConfig) -> None:
+        self.store = store
+        self.config = config
+        self.address = group_address(config)
+        gs_dir = Path(store.root) / "blobs" / "ground_states"
+        gs_dir.mkdir(parents=True, exist_ok=True)
+        self.path = gs_dir / f"{self.address}.lock"
+
+    def try_acquire(self) -> bool:
+        """Take the lease if free (or stale); never blocks."""
+        for _ in range(2):  # second try after clearing a stale lease
+            try:
+                fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                if not self._holder_alive():
+                    self._steal()
+                    continue
+                return False
+            with os.fdopen(fd, "w") as fh:
+                fh.write(str(os.getpid()))
+            return True
+        return False
+
+    def _holder_alive(self) -> bool:
+        try:
+            pid = int(self.path.read_text().strip() or "0")
+        except (FileNotFoundError, ValueError):
+            # mid-write or already released — treat as live briefly; the
+            # waiter's poll loop re-checks
+            return True
+        return _pid_alive(pid)
+
+    def _steal(self) -> None:
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+    def release(self) -> None:
+        self._steal()
+
+
+def coalesced_ground_state(
+    store,
+    config: SimulationConfig,
+    converge: Callable[[], GroundState],
+    wait_s: float = DEFAULT_WAIT_S,
+    poll_s: float = DEFAULT_POLL_S,
+) -> Tuple[GroundState, bool]:
+    """The group's ground state — from cache, a peer, or ``converge()``.
+
+    Returns ``(ground_state, converged_here)``.  Exactly one concurrent
+    caller per group runs ``converge()`` in the happy path; its result
+    is published as the group's content-addressed blob before the lease
+    drops, so every waiter (and every later job) loads instead of
+    recomputing.
+    """
+    cached = store.load_ground_state(config)
+    if cached is not None:
+        return cached, False
+    lease = GroundStateLease(store, config)
+    if lease.try_acquire():
+        try:
+            # the blob may have landed between the cache check and the
+            # lease (a holder releasing just then) — re-check while owning
+            cached = store.load_ground_state(config)
+            if cached is not None:
+                return cached, False
+            gs = converge()
+            store.put_ground_state(config, gs)
+            return gs, True
+        finally:
+            lease.release()
+    deadline = time.monotonic() + wait_s
+    while time.monotonic() < deadline:
+        cached = store.load_ground_state(config)
+        if cached is not None:
+            return cached, False
+        # the leaseholder may have died before publishing; take over
+        if lease.try_acquire():
+            try:
+                cached = store.load_ground_state(config)
+                if cached is not None:
+                    return cached, False
+                gs = converge()
+                store.put_ground_state(config, gs)
+                return gs, True
+            finally:
+                lease.release()
+        time.sleep(poll_s)
+    # timed out waiting: converge independently — wasteful but safe, the
+    # blob put is idempotent (first writer wins)
+    gs = converge()
+    store.put_ground_state(config, gs)
+    return gs, True

@@ -1,0 +1,197 @@
+"""Stdlib HTTP/JSON surface of the job service.
+
+Routes (all JSON unless noted)::
+
+    GET  /healthz               liveness + version
+    GET  /stats                 queue counts, workers, store size, uptime
+    GET  /jobs[?status=&limit=&offset=]   list jobs
+    POST /jobs                  submit {"config": {...}} — idempotent
+    GET  /jobs/<id>             one job: status, progress, attempts
+    GET  /jobs/<id>/result      the stored run as a result .npz (binary)
+    POST /jobs/<id>/cancel      cancel a queued/running job
+
+Built on ``http.server.ThreadingHTTPServer`` — no framework, no new
+dependencies; each request runs in its own thread against the
+service's thread-safe queue/store handles.  Errors come back as
+``{"error": "..."}`` with a meaningful status code (400 bad request,
+404 unknown job, 409 result not ready).
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional
+from urllib.parse import parse_qs, urlparse
+
+#: request body cap — a simulation config is a few KB; anything larger
+#: is not a config
+MAX_BODY_BYTES = 1 << 20
+
+
+def job_view(job: Dict[str, Any], attempts=None, config: bool = False) -> Dict[str, Any]:
+    """The wire form of a job row (`config_json` expanded on demand)."""
+    out = {
+        key: job[key]
+        for key in (
+            "job_id", "config_hash", "status", "error", "run_id", "worker",
+            "attempts", "max_attempts", "timeout", "created", "updated",
+            "started", "finished", "progress", "message",
+        )
+    }
+    if config:
+        out["config"] = json.loads(job["config_json"])
+    if attempts is not None:
+        out["history"] = attempts
+    return out
+
+
+class ServeHTTPServer(ThreadingHTTPServer):
+    """The listener; carries the :class:`JobService` for its handlers."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, service) -> None:
+        self.service = service
+        super().__init__(address, JobRequestHandler)
+
+
+class JobRequestHandler(BaseHTTPRequestHandler):
+    server: ServeHTTPServer
+
+    #: quiet by default; the service enables request logging when asked
+    def log_message(self, fmt, *args) -> None:
+        if getattr(self.server.service, "log_requests", False):
+            super().log_message(fmt, *args)
+
+    # -- response helpers -----------------------------------------------------
+    def _json(self, payload: Any, status: int = 200) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, message: str, status: int) -> None:
+        self._json({"error": str(message)}, status=status)
+
+    def _stream_file(self, path, filename: str) -> None:
+        size = path.stat().st_size
+        self.send_response(200)
+        self.send_header("Content-Type", "application/octet-stream")
+        self.send_header("Content-Disposition", f'attachment; filename="{filename}"')
+        self.send_header("Content-Length", str(size))
+        self.end_headers()
+        with path.open("rb") as fh:
+            while True:
+                chunk = fh.read(1 << 16)
+                if not chunk:
+                    break
+                self.wfile.write(chunk)
+
+    # -- dispatch -------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        try:
+            self._route_get()
+        except BrokenPipeError:
+            pass
+        except ValueError as exc:
+            self._error(str(exc), 400)
+        except Exception as exc:  # noqa: BLE001 - the server must not die
+            self._error(f"internal error: {exc}", 500)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        try:
+            self._route_post()
+        except BrokenPipeError:
+            pass
+        except ValueError as exc:
+            self._error(str(exc), 400)
+        except Exception as exc:  # noqa: BLE001
+            self._error(f"internal error: {exc}", 500)
+
+    def _route_get(self) -> None:
+        service = self.server.service
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        if url.path == "/healthz":
+            self._json(service.healthz())
+        elif url.path == "/stats":
+            self._json(service.stats())
+        elif parts == ["jobs"]:
+            query = parse_qs(url.query)
+            status = query.get("status", [None])[0]
+            limit = query.get("limit", [None])[0]
+            offset = query.get("offset", ["0"])[0]
+            jobs = service.queue.jobs(
+                status=status,
+                limit=int(limit) if limit is not None else None,
+                offset=int(offset),
+            )
+            self._json({"jobs": [job_view(j) for j in jobs]})
+        elif len(parts) == 2 and parts[0] == "jobs":
+            job = service.queue.get(parts[1])
+            if job is None:
+                self._error(f"no job {parts[1]!r}", 404)
+                return
+            self._json(
+                job_view(job, attempts=service.queue.attempts(parts[1]), config=True)
+            )
+        elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "result":
+            self._send_result(parts[1])
+        else:
+            self._error(f"no route {url.path!r}", 404)
+
+    def _send_result(self, job_id: str) -> None:
+        service = self.server.service
+        job = service.queue.get(job_id)
+        if job is None:
+            self._error(f"no job {job_id!r}", 404)
+            return
+        if job["status"] != "ok":
+            self._error(
+                f"job {job_id} is {job['status']} "
+                f"({job['error'] or 'no result yet'})",
+                409,
+            )
+            return
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory(prefix="repro-serve-") as tmp:
+            path = Path(tmp) / f"{job['run_id']}.npz"
+            service.store.export(job["run_id"], path)
+            self._stream_file(path, f"{job_id}.npz")
+
+    def _route_post(self) -> None:
+        service = self.server.service
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        if parts == ["jobs"]:
+            payload = self._read_json()
+            job, created = service.submit_payload(payload)
+            self._json(job_view(job), status=201 if created else 200)
+        elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
+            if service.queue.get(parts[1]) is None:
+                self._error(f"no job {parts[1]!r}", 404)
+                return
+            job = service.cancel(parts[1])
+            self._json(job_view(job))
+        else:
+            self._error(f"no route {url.path!r}", 404)
+
+    def _read_json(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ValueError("request body required")
+        if length > MAX_BODY_BYTES:
+            raise ValueError(f"request body too large ({length} bytes)")
+        try:
+            payload = json.loads(self.rfile.read(length))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload

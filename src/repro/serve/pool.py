@@ -1,0 +1,137 @@
+"""The worker pool and its supervisor logic.
+
+Workers are **spawned** processes (never forked: the server runs HTTP
+handler threads, and forking a threaded process is undefined behavior
+waiting to happen) running :func:`repro.serve.worker.worker_main`.
+
+The pool itself holds no job state — the queue is the single source of
+truth.  :meth:`WorkerPool.tick` is the supervisor pass the service runs
+a few times a second:
+
+- a **dead worker** (crashed, OOM-killed, SIGKILLed) gets its claimed
+  job reported as a failed attempt — requeued with backoff or marked
+  ``error`` if the budget is gone — and a fresh worker is spawned in
+  its slot;
+- a **job past its deadline** gets its worker killed (there is no safe
+  way to interrupt a propagation mid-step from outside) and the
+  attempt reported as a timeout; the respawn happens on the next tick;
+- a **cancelled job still executing** likewise gets its worker killed.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Any, Dict, List, Optional
+
+from repro.serve.queue import JobQueue
+from repro.serve.worker import worker_main
+
+
+class WorkerPool:
+    """``n`` spawned worker processes over one store's job queue."""
+
+    def __init__(
+        self,
+        store_root: str,
+        queue: JobQueue,
+        n_workers: int = 2,
+        options: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.store_root = str(store_root)
+        self.queue = queue
+        self.n_workers = int(n_workers)
+        self.options = dict(options or {})
+        self._ctx = mp.get_context("spawn")
+        #: slot -> live process; worker ids encode slot + generation so a
+        #: respawned worker never aliases its predecessor's claimed jobs
+        self._procs: Dict[int, mp.process.BaseProcess] = {}
+        self._generation: Dict[int, int] = {}
+        self._ids: Dict[int, str] = {}
+
+    # -- lifecycle ------------------------------------------------------------
+    def _spawn(self, slot: int) -> None:
+        gen = self._generation.get(slot, 0) + 1
+        self._generation[slot] = gen
+        worker_id = f"w{slot}g{gen}"
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(self.store_root, worker_id, self.options),
+            name=f"repro-serve-{worker_id}",
+            daemon=True,
+        )
+        proc.start()
+        self._procs[slot] = proc
+        self._ids[slot] = worker_id
+
+    def start(self) -> None:
+        for slot in range(self.n_workers):
+            self._spawn(slot)
+
+    def stop(self) -> None:
+        for proc in self._procs.values():
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs.values():
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=5.0)
+        self._procs.clear()
+        self._ids.clear()
+
+    # -- supervision ----------------------------------------------------------
+    def worker_ids(self) -> List[str]:
+        return [self._ids[slot] for slot in sorted(self._ids)]
+
+    def pid_of(self, worker_id: str) -> Optional[int]:
+        for slot, wid in self._ids.items():
+            if wid == worker_id:
+                proc = self._procs.get(slot)
+                return proc.pid if proc is not None else None
+        return None
+
+    def kill_worker(self, worker_id: str) -> bool:
+        """Hard-kill one worker (deadline/cancel enforcement)."""
+        for slot, wid in list(self._ids.items()):
+            if wid == worker_id:
+                proc = self._procs[slot]
+                if proc.is_alive():
+                    proc.kill()
+                    proc.join(timeout=5.0)
+                return True
+        return False
+
+    def tick(self, backoff: float = 0.5) -> None:
+        """One supervisor pass: reap the dead, enforce deadlines, respawn."""
+        # deadline enforcement first, so an over-budget worker is already
+        # dead when the reaping pass below requeues its job
+        for job in self.queue.expired():
+            if job["worker"]:
+                self.kill_worker(job["worker"])
+            self.queue.fail_attempt(
+                job["job_id"],
+                f"timed out after {job['timeout']:g}s",
+                backoff=backoff,
+                outcome="timeout",
+            )
+        # cancelled jobs whose worker is still burning cycles
+        for job in self.queue.jobs(status="cancelled"):
+            if job["worker"] and job["worker"] in self._ids.values():
+                worker_jobs = self.queue.running_for(job["worker"])
+                if not worker_jobs:  # it really is still on the cancelled job
+                    self.kill_worker(job["worker"])
+        for slot, proc in list(self._procs.items()):
+            if proc.is_alive():
+                continue
+            worker_id = self._ids[slot]
+            # the worker died without reporting: fail its claimed job(s)
+            # on its behalf — the claim already consumed the attempt
+            for job in self.queue.running_for(worker_id):
+                self.queue.fail_attempt(
+                    job["job_id"],
+                    f"worker {worker_id} died (exitcode {proc.exitcode})",
+                    backoff=backoff,
+                    outcome="crashed",
+                )
+            self.queue.remove_worker(worker_id)
+            self._spawn(slot)

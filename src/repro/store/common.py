@@ -8,8 +8,10 @@ apart.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
+import sqlite3
 import time
 from typing import Any, Dict, Mapping
 
@@ -92,3 +94,69 @@ def flatten_dotted(data: Mapping[str, Any], prefix: str = "") -> Dict[str, Any]:
 def utc_now() -> float:
     """Unix timestamp used for index ``created``/``updated`` columns."""
     return time.time()
+
+
+# --------------------------------------------------------------------------
+# sqlite concurrency helpers (shared by the run index and the job queue)
+# --------------------------------------------------------------------------
+
+#: default seconds a writer waits on a locked database before giving up
+SQLITE_BUSY_TIMEOUT_S = 30.0
+
+
+def _is_busy(exc: sqlite3.OperationalError) -> bool:
+    text = str(exc)
+    return "locked" in text or "busy" in text
+
+
+def connect_sqlite(path, timeout_s: float = SQLITE_BUSY_TIMEOUT_S) -> sqlite3.Connection:
+    """Open an index database configured for concurrent multi-process use.
+
+    WAL journaling lets readers proceed while one writer commits (the
+    server's workers all append results to one store), ``busy_timeout``
+    makes lock contention block-and-retry instead of raising instantly,
+    and autocommit mode (``isolation_level=None``) leaves transaction
+    boundaries to :func:`immediate_txn` so write transactions take the
+    database lock up front rather than deadlocking on lock upgrade.
+    """
+    conn = sqlite3.connect(
+        path, check_same_thread=False, timeout=timeout_s, isolation_level=None
+    )
+    conn.execute("PRAGMA journal_mode=WAL")
+    conn.execute(f"PRAGMA busy_timeout={int(timeout_s * 1000)}")
+    conn.execute("PRAGMA synchronous=NORMAL")
+    return conn
+
+
+def run_immediate(conn: sqlite3.Connection, fn, attempts: int = 8, base_sleep: float = 0.02):
+    """Run ``fn(conn)`` inside ``BEGIN IMMEDIATE`` ... ``COMMIT``, whole-
+    transaction retried on ``SQLITE_BUSY``.
+
+    The immediate begin acquires the write lock before any statement
+    runs, so a transaction either starts with the lock held or retries
+    whole — no mid-transaction lock-upgrade deadlocks, no partial writes
+    visible to other processes.  Exponential backoff on top of
+    ``busy_timeout`` covers the (rare) case where the timeout itself
+    expires under sustained contention; ``fn`` must therefore be safe to
+    re-run (ours are pure upserts).
+    """
+    for attempt in range(attempts):
+        try:
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                out = fn(conn)
+            except BaseException:
+                if conn.in_transaction:
+                    with contextlib.suppress(sqlite3.OperationalError):
+                        conn.execute("ROLLBACK")
+                raise
+            conn.execute("COMMIT")
+            return out
+        except sqlite3.OperationalError as exc:
+            if conn.in_transaction:
+                with contextlib.suppress(sqlite3.OperationalError):
+                    conn.execute("ROLLBACK")
+            if not _is_busy(exc) or attempt == attempts - 1:
+                raise
+            time.sleep(base_sleep * (2 ** attempt))
+    raise StoreError("unreachable: run_immediate exhausted without raising")

@@ -22,7 +22,13 @@ import sqlite3
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Mapping, Optional
 
-from repro.store.common import StoreError, canonical_json, flatten_dotted
+from repro.store.common import (
+    StoreError,
+    canonical_json,
+    connect_sqlite,
+    flatten_dotted,
+    run_immediate,
+)
 from repro.store.migrate import SCHEMA_VERSION, ensure_schema
 
 #: row keys every backend stores and returns
@@ -87,9 +93,11 @@ class SqliteRunIndex:
     def __init__(self, root) -> None:
         self.path = Path(root) / self.filename
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        # single-writer by design (the parent process owns all store
-        # writes), but reads may come from helper threads
-        self._conn = sqlite3.connect(self.path, check_same_thread=False)
+        # WAL + busy_timeout: the job server's worker processes all write
+        # results into one store, so the index must tolerate concurrent
+        # writers (and reads from helper threads) without SQLITE_BUSY
+        # surfacing as data loss
+        self._conn = connect_sqlite(self.path)
         self.schema_version = ensure_schema(self._conn, self.path)
 
     def close(self) -> None:
@@ -98,47 +106,49 @@ class SqliteRunIndex:
     # -- writes --------------------------------------------------------------
     def upsert(self, row: Mapping[str, Any]) -> None:
         r = _normalize_row(row)
-        with self._conn:
-            self._conn.execute(
-                """
-                INSERT OR REPLACE INTO runs (
-                    run_id, config_hash, gs_address, status, error, created,
-                    updated, elapsed, n_chunks, n_times, config_json,
-                    overrides_json, fft_json, parallel_json
-                ) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
-                """,
-                (
-                    r["run_id"],
-                    r["config_hash"],
-                    r["gs_address"],
-                    r["status"],
-                    r["error"],
-                    r["created"],
-                    r["updated"],
-                    r["elapsed"],
-                    r["n_chunks"],
-                    r["n_times"],
-                    canonical_json(r["config"]),
-                    canonical_json(r["overrides"]),
-                    canonical_json(r["fft"]) if r["fft"] is not None else None,
-                    canonical_json(r["parallel"]) if r["parallel"] is not None else None,
-                ),
-            )
-            self._conn.execute(
-                "DELETE FROM config_kv WHERE run_id = ?", (r["run_id"],)
-            )
-            self._conn.executemany(
-                "INSERT INTO config_kv (run_id, key, value) VALUES (?, ?, ?)",
-                [
-                    (r["run_id"], key, canonical_json(value))
-                    for key, value in flatten_dotted(r["config"]).items()
-                ],
-            )
+        run_immediate(self._conn, lambda conn: self._upsert_locked(conn, r))
+
+    def _upsert_locked(self, conn, r: Dict[str, Any]) -> None:
+        conn.execute(
+            """
+            INSERT OR REPLACE INTO runs (
+                run_id, config_hash, gs_address, status, error, created,
+                updated, elapsed, n_chunks, n_times, config_json,
+                overrides_json, fft_json, parallel_json
+            ) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+            """,
+            (
+                r["run_id"],
+                r["config_hash"],
+                r["gs_address"],
+                r["status"],
+                r["error"],
+                r["created"],
+                r["updated"],
+                r["elapsed"],
+                r["n_chunks"],
+                r["n_times"],
+                canonical_json(r["config"]),
+                canonical_json(r["overrides"]),
+                canonical_json(r["fft"]) if r["fft"] is not None else None,
+                canonical_json(r["parallel"]) if r["parallel"] is not None else None,
+            ),
+        )
+        conn.execute("DELETE FROM config_kv WHERE run_id = ?", (r["run_id"],))
+        conn.executemany(
+            "INSERT INTO config_kv (run_id, key, value) VALUES (?, ?, ?)",
+            [
+                (r["run_id"], key, canonical_json(value))
+                for key, value in flatten_dotted(r["config"]).items()
+            ],
+        )
 
     def delete(self, run_id: str) -> None:
-        with self._conn:
-            self._conn.execute("DELETE FROM runs WHERE run_id = ?", (run_id,))
-            self._conn.execute("DELETE FROM config_kv WHERE run_id = ?", (run_id,))
+        def _delete(conn):
+            conn.execute("DELETE FROM runs WHERE run_id = ?", (run_id,))
+            conn.execute("DELETE FROM config_kv WHERE run_id = ?", (run_id,))
+
+        run_immediate(self._conn, _delete)
 
     # -- reads ---------------------------------------------------------------
     _COLUMNS = (
@@ -192,6 +202,8 @@ class SqliteRunIndex:
         where: Optional[Mapping[str, Any]] = None,
         since: Optional[float] = None,
         until: Optional[float] = None,
+        limit: Optional[int] = None,
+        offset: int = 0,
     ) -> List[Dict[str, Any]]:
         columns = ", ".join(
             f"runs.{col.strip()}" for col in self._COLUMNS.split(",")
@@ -218,6 +230,11 @@ class SqliteRunIndex:
         if clauses:
             sql += " WHERE " + " AND ".join(clauses)
         sql += " ORDER BY runs.created, runs.run_id"
+        if limit is not None or offset:
+            # sqlite treats LIMIT -1 as "no limit", which is exactly the
+            # offset-without-limit paging case
+            sql += " LIMIT ? OFFSET ?"
+            params += [-1 if limit is None else int(limit), int(offset)]
         return [self._row_from(rec) for rec in self._conn.execute(sql, params)]
 
     def count(self) -> int:
@@ -289,6 +306,8 @@ class JsonlRunIndex:
         where: Optional[Mapping[str, Any]] = None,
         since: Optional[float] = None,
         until: Optional[float] = None,
+        limit: Optional[int] = None,
+        offset: int = 0,
     ) -> List[Dict[str, Any]]:
         out = [
             row
@@ -296,6 +315,10 @@ class JsonlRunIndex:
             if _matches(row, status, where, since, until)
         ]
         out.sort(key=lambda r: (r["created"], r["run_id"]))
+        if offset:
+            out = out[int(offset):]
+        if limit is not None:
+            out = out[: int(limit)]
         return out
 
     def count(self) -> int:

@@ -10,44 +10,64 @@ appending one migration function — old studies keep opening.
 ``SCHEMA_VERSION`` is what this build writes; opening a store whose
 index is *newer* raises :class:`StoreError` (the code cannot know what
 the extra columns mean), which ``repro validate`` reports as a warning.
+
+Migrations run inside one ``BEGIN IMMEDIATE`` transaction so that
+concurrent openers — the job server's worker processes all open the
+same store on boot — serialize: the first to take the write lock
+creates/upgrades the schema, the rest re-read the version once the lock
+frees and find nothing left to do.  (That is also why the DDL below is
+issued statement-by-statement instead of via ``executescript``, which
+force-commits any pending transaction before running.)
 """
 
 from __future__ import annotations
 
+import contextlib
 import sqlite3
-from typing import Callable, Dict
+import time
+from typing import Callable, Dict, Sequence
 
-from repro.store.common import StoreError
+from repro.store.common import StoreError, _is_busy
 
 #: schema version this build reads and writes
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
+
+
+def _execute_all(conn: sqlite3.Connection, statements: Sequence[str]) -> None:
+    for statement in statements:
+        conn.execute(statement)
 
 
 def _create_baseline(conn: sqlite3.Connection) -> None:
     """Version-1 schema: the run table + store metadata."""
-    conn.executescript(
-        """
-        CREATE TABLE meta (
-            key   TEXT PRIMARY KEY,
-            value TEXT NOT NULL
-        );
-        CREATE TABLE runs (
-            run_id         TEXT PRIMARY KEY,
-            config_hash    TEXT NOT NULL,
-            gs_address     TEXT,
-            status         TEXT NOT NULL,
-            error          TEXT,
-            created        REAL NOT NULL,
-            updated        REAL NOT NULL,
-            elapsed        REAL NOT NULL DEFAULT 0.0,
-            n_chunks       INTEGER NOT NULL DEFAULT 0,
-            n_times        INTEGER NOT NULL DEFAULT 0,
-            config_json    TEXT NOT NULL,
-            overrides_json TEXT
-        );
-        CREATE INDEX runs_config_hash ON runs (config_hash);
-        CREATE INDEX runs_status ON runs (status);
-        """
+    _execute_all(
+        conn,
+        (
+            """
+            CREATE TABLE meta (
+                key   TEXT PRIMARY KEY,
+                value TEXT NOT NULL
+            )
+            """,
+            """
+            CREATE TABLE runs (
+                run_id         TEXT PRIMARY KEY,
+                config_hash    TEXT NOT NULL,
+                gs_address     TEXT,
+                status         TEXT NOT NULL,
+                error          TEXT,
+                created        REAL NOT NULL,
+                updated        REAL NOT NULL,
+                elapsed        REAL NOT NULL DEFAULT 0.0,
+                n_chunks       INTEGER NOT NULL DEFAULT 0,
+                n_times        INTEGER NOT NULL DEFAULT 0,
+                config_json    TEXT NOT NULL,
+                overrides_json TEXT
+            )
+            """,
+            "CREATE INDEX runs_config_hash ON runs (config_hash)",
+            "CREATE INDEX runs_status ON runs (status)",
+        ),
     )
     conn.execute("INSERT INTO meta (key, value) VALUES ('schema_version', '1')")
 
@@ -64,20 +84,25 @@ def _migrate_1_to_2(conn: sqlite3.Connection) -> None:
 
     from repro.store.common import canonical_json, flatten_dotted
 
-    conn.executescript(
-        """
-        ALTER TABLE runs ADD COLUMN fft_json TEXT;
-        ALTER TABLE runs ADD COLUMN parallel_json TEXT;
-        CREATE TABLE config_kv (
-            run_id TEXT NOT NULL,
-            key    TEXT NOT NULL,
-            value  TEXT NOT NULL,
-            PRIMARY KEY (run_id, key)
-        );
-        CREATE INDEX config_kv_key_value ON config_kv (key, value);
-        """
+    _execute_all(
+        conn,
+        (
+            "ALTER TABLE runs ADD COLUMN fft_json TEXT",
+            "ALTER TABLE runs ADD COLUMN parallel_json TEXT",
+            """
+            CREATE TABLE config_kv (
+                run_id TEXT NOT NULL,
+                key    TEXT NOT NULL,
+                value  TEXT NOT NULL,
+                PRIMARY KEY (run_id, key)
+            )
+            """,
+            "CREATE INDEX config_kv_key_value ON config_kv (key, value)",
+        ),
     )
-    for run_id, config_json in conn.execute("SELECT run_id, config_json FROM runs"):
+    for run_id, config_json in list(
+        conn.execute("SELECT run_id, config_json FROM runs")
+    ):
         for key, value in flatten_dotted(json.loads(config_json)).items():
             conn.execute(
                 "INSERT OR REPLACE INTO config_kv (run_id, key, value) VALUES (?, ?, ?)",
@@ -85,9 +110,74 @@ def _migrate_1_to_2(conn: sqlite3.Connection) -> None:
             )
 
 
+def _migrate_2_to_3(conn: sqlite3.Connection) -> None:
+    """v3: the job-service tables — jobs, workers, and per-attempt history.
+
+    ``jobs`` is the durable queue ``repro serve`` drains: one row per
+    submitted config (idempotent by ``config_hash``), claimed atomically
+    by worker processes, retried with backoff on failure, and re-queued
+    on worker death or server restart.  ``workers`` tracks live worker
+    registrations (pid + heartbeat) and ``job_attempts`` keeps the full
+    execution history so a flaky job's past is queryable after it
+    finally lands.
+    """
+    _execute_all(
+        conn,
+        (
+            """
+            CREATE TABLE jobs (
+                job_id       TEXT PRIMARY KEY,
+                config_hash  TEXT NOT NULL,
+                config_json  TEXT NOT NULL,
+                status       TEXT NOT NULL,
+                error        TEXT,
+                run_id       TEXT,
+                worker       TEXT,
+                attempts     INTEGER NOT NULL DEFAULT 0,
+                max_attempts INTEGER NOT NULL DEFAULT 3,
+                timeout      REAL NOT NULL DEFAULT 0.0,
+                created      REAL NOT NULL,
+                updated      REAL NOT NULL,
+                started      REAL,
+                finished     REAL,
+                deadline     REAL,
+                not_before   REAL NOT NULL DEFAULT 0.0,
+                progress     REAL NOT NULL DEFAULT 0.0,
+                message      TEXT
+            )
+            """,
+            "CREATE INDEX jobs_status_created ON jobs (status, created)",
+            "CREATE INDEX jobs_config_hash ON jobs (config_hash)",
+            """
+            CREATE TABLE workers (
+                worker_id TEXT PRIMARY KEY,
+                pid       INTEGER,
+                started   REAL,
+                heartbeat REAL,
+                state     TEXT,
+                job_id    TEXT
+            )
+            """,
+            """
+            CREATE TABLE job_attempts (
+                job_id   TEXT NOT NULL,
+                attempt  INTEGER NOT NULL,
+                worker   TEXT,
+                started  REAL,
+                finished REAL,
+                outcome  TEXT,
+                error    TEXT,
+                PRIMARY KEY (job_id, attempt)
+            )
+            """,
+        ),
+    )
+
+
 #: migration chain: ``MIGRATIONS[n]`` upgrades schema version n -> n + 1
 MIGRATIONS: Dict[int, Callable[[sqlite3.Connection], None]] = {
     1: _migrate_1_to_2,
+    2: _migrate_2_to_3,
 }
 
 
@@ -102,12 +192,42 @@ def schema_version(conn: sqlite3.Connection) -> int:
     return int(row[0]) if row else 0
 
 
+def _apply_migrations(conn: sqlite3.Connection, path) -> int:
+    """Bring the (locked) database to ``SCHEMA_VERSION``; returns it."""
+    version = schema_version(conn)
+    if version > SCHEMA_VERSION:
+        raise StoreError(
+            f"store index {path} has schema version {version}, newer than this "
+            f"build's {SCHEMA_VERSION}; upgrade repro to open this store"
+        )
+    if version == 0:
+        _create_baseline(conn)
+        version = 1
+    while version < SCHEMA_VERSION:
+        migrate = MIGRATIONS.get(version)
+        if migrate is None:
+            raise StoreError(
+                f"no migration registered from store schema version {version}"
+            )
+        migrate(conn)
+        version += 1
+        conn.execute(
+            "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+            (str(version),),
+        )
+    return version
+
+
 def ensure_schema(conn: sqlite3.Connection, path="index") -> int:
     """Create or upgrade the schema in place; returns the final version.
 
     Fresh databases get the baseline schema and then every migration in
     order; databases from older builds get only the migrations they are
-    missing.  A database from a *newer* build is refused.
+    missing; a database from a *newer* build is refused.  Safe under
+    concurrent openers: the whole check-and-migrate runs inside one
+    immediate transaction, and the version is re-read after the lock is
+    acquired, so two processes racing to create the same store cannot
+    both apply the baseline.
     """
     version = schema_version(conn)
     if version > SCHEMA_VERSION:
@@ -115,20 +235,31 @@ def ensure_schema(conn: sqlite3.Connection, path="index") -> int:
             f"store index {path} has schema version {version}, newer than this "
             f"build's {SCHEMA_VERSION}; upgrade repro to open this store"
         )
-    with conn:
-        if version == 0:
-            _create_baseline(conn)
-            version = 1
-        while version < SCHEMA_VERSION:
-            migrate = MIGRATIONS.get(version)
-            if migrate is None:
-                raise StoreError(
-                    f"no migration registered from store schema version {version}"
-                )
-            migrate(conn)
-            version += 1
-            conn.execute(
-                "UPDATE meta SET value = ? WHERE key = 'schema_version'",
-                (str(version),),
-            )
-    return version
+    if version == SCHEMA_VERSION:
+        return version
+    # explicit transaction control below; restore the caller's mode after
+    old_isolation = conn.isolation_level
+    conn.isolation_level = None
+    try:
+        for attempt in range(8):
+            try:
+                conn.execute("BEGIN IMMEDIATE")
+                try:
+                    final = _apply_migrations(conn, path)
+                except BaseException:
+                    if conn.in_transaction:
+                        with contextlib.suppress(sqlite3.OperationalError):
+                            conn.execute("ROLLBACK")
+                    raise
+                conn.execute("COMMIT")
+                return final
+            except sqlite3.OperationalError as exc:
+                if conn.in_transaction:
+                    with contextlib.suppress(sqlite3.OperationalError):
+                        conn.execute("ROLLBACK")
+                if not _is_busy(exc) or attempt == 7:
+                    raise
+                time.sleep(0.02 * (2 ** attempt))
+        raise StoreError(f"could not lock store index {path} for migration")
+    finally:
+        conn.isolation_level = old_isolation

@@ -81,11 +81,21 @@ def query_runs(
     where: Optional[Mapping[str, Any]] = None,
     since: Optional[float] = None,
     until: Optional[float] = None,
+    limit: Optional[int] = None,
+    offset: int = 0,
 ) -> List[StoredRun]:
-    """Filtered, creation-ordered runs from an index backend."""
+    """Filtered, creation-ordered runs from an index backend.
+
+    ``limit``/``offset`` page through the filtered set in creation
+    order — a store holding thousands of service runs is listed a page
+    at a time instead of materializing every row.
+    """
     return [
         StoredRun.from_row(row)
-        for row in index.rows(status=status, where=where, since=since, until=until)
+        for row in index.rows(
+            status=status, where=where, since=since, until=until,
+            limit=limit, offset=offset,
+        )
     ]
 
 
@@ -110,11 +120,17 @@ def parse_where(pairs: Sequence[str]) -> Dict[str, Any]:
     return out
 
 
-def parse_when(text: Optional[str]) -> Optional[float]:
+def parse_when(text: Optional[str], *, end: bool = False) -> Optional[float]:
     """``--since``/``--until`` argument -> unix timestamp.
 
     Accepts ISO dates/datetimes (``2026-08-01``, ``2026-08-01T12:30``,
     interpreted as UTC when no zone is given) or a raw unix timestamp.
+
+    A *date-only* value names a whole day, so its meaning depends on
+    which side of the window it bounds: ``--since 2026-08-08`` starts at
+    that day's midnight, while ``--until 2026-08-08`` (``end=True``)
+    covers *through* the end of that day — without this, an
+    ``--until`` date would silently exclude every run created on it.
     """
     if text is None:
         return None
@@ -122,6 +138,18 @@ def parse_when(text: Optional[str]) -> Optional[float]:
         return float(text)
     except ValueError:
         pass
+    try:
+        date_only = _dt.date.fromisoformat(text)
+    except ValueError:
+        date_only = None
+    if date_only is not None:
+        when = _dt.datetime.combine(
+            date_only, _dt.time.min, tzinfo=_dt.timezone.utc
+        )
+        if end:
+            when += _dt.timedelta(days=1)
+            return when.timestamp() - 1e-6
+        return when.timestamp()
     try:
         when = _dt.datetime.fromisoformat(text)
     except ValueError as exc:

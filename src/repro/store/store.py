@@ -448,10 +448,17 @@ class ResultStore:
         where: Optional[Mapping[str, Any]] = None,
         since: Optional[float] = None,
         until: Optional[float] = None,
+        limit: Optional[int] = None,
+        offset: int = 0,
     ) -> List[StoredRun]:
-        """Filtered runs: by status, dotted config keys, creation window."""
+        """Filtered runs: by status, dotted config keys, creation window.
+
+        ``limit``/``offset`` page through the match set in creation
+        order (service stores accumulate thousands of runs).
+        """
         return query_runs(
-            self.index, status=status, where=where, since=since, until=until
+            self.index, status=status, where=where, since=since, until=until,
+            limit=limit, offset=offset,
         )
 
 

@@ -146,6 +146,17 @@ def test_shipped_parallel_configs_validate(capsys):
     assert "sweep: 3 runs over parallel.pattern" in capsys.readouterr().out
 
 
+def test_shipped_serve_config_validates_and_loads(capsys):
+    from repro.api import load_serve_file
+
+    cfg = REPO_ROOT / "examples" / "configs" / "serve.toml"
+    assert main(["validate", str(cfg)]) == 0
+    assert "sweep: 3 runs over field.params.kick" in capsys.readouterr().out
+    sim, serve = load_serve_file(cfg)
+    assert serve.workers == 2 and serve.store == "runs/service"
+    assert sim.system.functional == "lda"
+
+
 def test_cli_validate_bad_parallel_section(tmp_path, capsys):
     bad = tmp_path / "bad.toml"
     bad.write_text('[parallel]\npattern = "gossip"\n')
@@ -167,3 +178,68 @@ def test_cli_run_parallel_flags_print_breakdown(capsys):
     assert "parallel: ranks=2 pattern=bcast" in out  # result summary block
     assert "measured communication breakdown" in out
     assert "total_comm" in out and "bcast" in out
+
+
+def test_cli_run_store_reuses_completed_run(tmp_path, capsys):
+    """Identical `run --store` is idempotent; `--rerun` forces recompute."""
+    cfg = tmp_path / "tiny.toml"
+    cfg.write_text(TINY_TOML)
+    store = tmp_path / "store"
+    assert main(["run", str(cfg), "--store", str(store)]) == 0
+    first = capsys.readouterr().out
+    assert "reused from" not in first
+    assert main(["run", str(cfg), "--store", str(store)]) == 0
+    second = capsys.readouterr().out
+    assert "reused from" in second and "--rerun to recompute" in second
+    assert main(["run", str(cfg), "--store", str(store), "--rerun"]) == 0
+    third = capsys.readouterr().out
+    assert "reused from" not in third
+    # a reused run still renders the observable table
+    assert "final" in second or "t (" in second or len(second) > 0
+
+
+def test_cli_results_ls_paging_summary(tmp_path, capsys):
+    """--limit/--offset page and the summary line says what was shown."""
+    import json as _json
+
+    import numpy as _np
+
+    from repro.api import SimulationConfig
+    from repro.rt.propagator import TDState
+    from repro.store import ResultStore
+
+    store_dir = tmp_path / "store"
+    store = ResultStore.ensure(store_dir)
+    base = {
+        "system": {"cell": "silicon_cubic", "ecut": 2.0, "functional": "lda"},
+        "scf": {"nbands": 20, "density_tol": 1e-4, "max_scf": 40},
+        "field": {"kind": "static_kick", "params": {"kick": 0.001}},
+        "propagation": {"propagator": "ptim", "dt_as": 50.0, "n_steps": 2},
+    }
+    rng = _np.random.default_rng(0)
+    for i in range(5):
+        data = _json.loads(_json.dumps(base))
+        data["field"]["params"]["kick"] = 0.001 * (i + 1)
+        arrays = {
+            "times": _np.arange(3.0),
+            "dipole": rng.normal(size=(3, 3)),
+            "energy": rng.normal(size=3),
+            "field": rng.normal(size=(3, 3)),
+        }
+        state = TDState(
+            phi=rng.normal(size=(2, 4)) + 0j,
+            sigma=_np.zeros((2, 2), dtype=complex),
+            time=1.0,
+        )
+        store.add_run(SimulationConfig.from_dict(data), arrays, state)
+    store.close()
+
+    assert main(["results", "ls", str(store_dir)]) == 0
+    assert "5 run(s) in" in capsys.readouterr().out
+    assert main(["results", "ls", str(store_dir), "--limit", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "2 run(s) shown (offset 0) of 5 total" in out
+    assert main([
+        "results", "ls", str(store_dir), "--limit", "2", "--offset", "4",
+    ]) == 0
+    assert "1 run(s) shown (offset 4) of 5 total" in capsys.readouterr().out

@@ -227,3 +227,59 @@ def test_config_diff_names_dotted_keys():
     assert any(d.startswith("propagation.n_steps") for d in diff)
     assert any(d.startswith("system.ecut") for d in diff)
     assert a.diff(a) == []
+
+
+# ---------------- [serve] section -------------------------------------------
+
+
+def test_serve_config_defaults_and_roundtrip():
+    from repro.api import ServeConfig
+
+    cfg = ServeConfig.from_dict({})
+    assert (cfg.host, cfg.port, cfg.workers) == ("127.0.0.1", 8752, 2)
+    assert cfg.store is None
+    full = ServeConfig.from_dict(
+        {"host": "0.0.0.0", "port": 9000, "workers": 4, "timeout": 120.0,
+         "retries": 5, "backoff": 1.0, "store": "runs"}
+    )
+    assert ServeConfig.from_dict(full.to_dict()) == full
+    # store=None round-trips by omission (hash-stable to_dict)
+    assert "store" not in cfg.to_dict()
+
+
+@pytest.mark.parametrize(
+    "patch, match",
+    [
+        ({"wrkers": 2}, "serve.wrkers"),
+        ({"port": 70000}, "serve.port"),
+        ({"workers": 0}, "serve.workers"),
+        ({"retries": 0}, "serve.retries"),
+        ({"backoff": -1.0}, "serve.backoff"),
+        ({"store": ""}, "serve.store"),
+    ],
+)
+def test_serve_config_invalid_values_named(patch, match):
+    from repro.api import ServeConfig
+
+    with pytest.raises(ConfigError, match=match):
+        ServeConfig.from_dict(patch)
+
+
+def test_load_serve_file_splits_sections(tmp_path):
+    from repro.api import ServeConfig, load_serve_file, load_sweep_file
+
+    path = tmp_path / "study.toml"
+    path.write_text(
+        '[system]\ncell = "silicon_cubic"\necut = 2.0\n\n'
+        "[serve]\nport = 0\nworkers = 3\nstore = \"runs\"\n\n"
+        "[sweep]\n[sweep.axes]\n\"field.params.kick\" = [0.001, 0.002]\n"
+    )
+    sim, serve = load_serve_file(path)
+    assert sim.system.ecut == 2.0
+    assert serve == ServeConfig.from_dict({"port": 0, "workers": 3, "store": "runs"})
+    # the simulation config is hash-stable: serve/sweep sections are not in it
+    assert "serve" not in sim.to_dict() and "sweep" not in sim.to_dict()
+    # the same file still loads for sweep/run tooling ([serve] tolerated)
+    base, sweep = load_sweep_file(path)
+    assert base.system.ecut == 2.0
+    assert sweep.n_runs == 2

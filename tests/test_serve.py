@@ -1,0 +1,359 @@
+"""repro.serve: queue semantics, coalesced SCF, crash retry, HTTP API.
+
+The heavy end-to-end checks share one module-scoped service run: four
+jobs (three sharing a ``(system, scf, backend)`` ground-state group)
+go through a real server on an ephemeral port with four spawned
+workers, and the assertions then pick the run apart — statuses, blob
+counts, bitwise parity against direct :meth:`Simulation.run`.  The
+crash/restart tests boot their own short-lived services; the queue
+unit tests never spawn a process at all.
+"""
+
+import json
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import Simulation, SimulationConfig
+from repro.serve import JobQueue, JobService, ServeClient, ServeError
+from repro.serve.queue import TERMINAL_STATUSES, job_id_for
+from repro.store import ResultStore, group_address
+
+BASE = {
+    "system": {"cell": "silicon_cubic", "ecut": 2.0, "functional": "lda"},
+    "scf": {"nbands": 20, "density_tol": 1e-4, "max_scf": 40},
+    "field": {"kind": "static_kick", "params": {"kick": 0.001}},
+    "propagation": {"propagator": "ptim", "dt_as": 50.0, "n_steps": 2},
+}
+
+
+def make_config(kick=0.001, nbands=None, n_steps=None) -> SimulationConfig:
+    data = json.loads(json.dumps(BASE))
+    data["field"]["params"]["kick"] = kick
+    if nbands is not None:
+        data["scf"]["nbands"] = nbands
+    if n_steps is not None:
+        data["propagation"]["n_steps"] = n_steps
+    return SimulationConfig.from_dict(data)
+
+
+# ---------------------------------------------------------------------------
+# the shared end-to-end run
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def e2e(tmp_path_factory):
+    """One live service, four jobs submitted over HTTP, all waited to done.
+
+    Three configs differ only in the kick strength (same ground-state
+    group); the fourth changes ``scf.nbands`` and needs its own SCF.
+    """
+    root = tmp_path_factory.mktemp("serve") / "store"
+    configs = [
+        make_config(kick=0.001),
+        make_config(kick=0.002),
+        make_config(kick=0.003),
+        make_config(kick=0.001, nbands=16),
+    ]
+    service = JobService(root, port=0, workers=4, backoff=0.2)
+    service.start()
+    client = ServeClient(service.url)
+    submitted = [client.submit(cfg) for cfg in configs]
+    finals = [client.wait(j["job_id"], timeout_s=300.0) for j in submitted]
+    yield {
+        "root": root,
+        "configs": configs,
+        "service": service,
+        "client": client,
+        "submitted": submitted,
+        "finals": finals,
+    }
+    service.stop()
+
+
+def test_e2e_all_jobs_ok(e2e):
+    for job in e2e["finals"]:
+        assert job["status"] == "ok", job.get("error")
+        assert job["run_id"]
+        assert job["progress"] == 1.0
+    # four distinct configs -> four distinct jobs and runs
+    assert len({j["job_id"] for j in e2e["finals"]}) == 4
+    assert len({j["run_id"] for j in e2e["finals"]}) == 4
+
+
+def test_e2e_one_ground_state_blob_per_group(e2e):
+    """Three coalescing jobs left exactly one blob for their group."""
+    store = ResultStore(e2e["root"], create=False)
+    try:
+        addresses = store.blobs.ground_state_addresses()
+    finally:
+        store.close()
+    shared = group_address(e2e["configs"][0])
+    other = group_address(e2e["configs"][3])
+    assert group_address(e2e["configs"][1]) == shared
+    assert group_address(e2e["configs"][2]) == shared
+    assert sorted(addresses) == sorted([shared, other])
+
+
+def test_e2e_results_bitwise_identical_to_direct_run(e2e):
+    """Served results must be the same bytes a direct run produces."""
+    store = ResultStore(e2e["root"], create=False)
+    try:
+        for config, job in zip(e2e["configs"], e2e["finals"]):
+            direct = Simulation(config).run().observables()
+            stored = store.load_arrays(job["run_id"])
+            for name, expected in direct.items():
+                got = stored[name]
+                assert got.dtype == np.asarray(expected).dtype
+                assert np.array_equal(got, expected), (job["run_id"], name)
+    finally:
+        store.close()
+
+
+def test_e2e_resubmit_is_idempotent_and_instant(e2e):
+    job = e2e["client"].submit(e2e["configs"][0])
+    assert job["job_id"] == e2e["finals"][0]["job_id"]
+    assert job["status"] == "ok"
+    assert job["run_id"] == e2e["finals"][0]["run_id"]
+
+
+def test_e2e_job_detail_carries_history_and_config(e2e):
+    detail = e2e["client"].job(e2e["finals"][0]["job_id"])
+    assert detail["config"] == e2e["configs"][0].to_dict()
+    outcomes = [a["outcome"] for a in detail["history"]]
+    assert outcomes[-1] == "ok"
+
+
+def test_e2e_fetch_round_trips_result_npz(e2e, tmp_path):
+    job = e2e["finals"][0]
+    path = e2e["client"].fetch(job["job_id"], tmp_path / "out.npz")
+    with np.load(path, allow_pickle=False) as data:
+        assert "dipole" in data
+        assert data["times"].shape == (BASE["propagation"]["n_steps"] + 1,)
+
+
+def test_e2e_stats_and_healthz(e2e):
+    health = e2e["client"].healthz()
+    assert health["ok"] is True
+    stats = e2e["client"].stats()
+    assert stats["jobs"]["ok"] >= 4
+    assert stats["stored_runs"] >= 4
+    assert stats["ground_state_blobs"] == 2
+    assert len(stats["workers"]) == 4
+
+
+def test_e2e_unknown_job_is_404(e2e):
+    with pytest.raises(ServeError) as err:
+        e2e["client"].job("jdeadbeef0000")
+    assert err.value.status == 404
+    with pytest.raises(ServeError) as err:
+        e2e["client"].cancel("jdeadbeef0000")
+    assert err.value.status == 404
+
+
+def test_e2e_bad_submit_is_400(e2e):
+    with pytest.raises(ServeError) as err:
+        e2e["client"]._json("/jobs", payload={"nonsense": 1})
+    assert err.value.status == 400
+
+
+def test_e2e_cancel_then_result_is_409(e2e):
+    """Cancelling a live job sticks, and its result stays unavailable."""
+    client = e2e["client"]
+    config = make_config(kick=0.009, n_steps=400)
+    job = client.submit(config)
+    assert job["status"] in ("queued", "running")
+    cancelled = client.cancel(job["job_id"])
+    assert cancelled["status"] == "cancelled"
+    with pytest.raises(ServeError) as err:
+        client.fetch(job["job_id"], e2e["root"].parent / "never.npz")
+    assert err.value.status == 409
+    # the terminal state is stable: the worker (if one had claimed it)
+    # cannot flip the job back to ok
+    time.sleep(0.5)
+    assert client.job(job["job_id"])["status"] == "cancelled"
+
+
+# ---------------------------------------------------------------------------
+# crash recovery
+# ---------------------------------------------------------------------------
+
+
+def test_sigkilled_worker_job_is_retried_to_completion(tmp_path):
+    """SIGKILL mid-propagation: the supervisor respawns and retries."""
+    root = tmp_path / "store"
+    config = make_config(kick=0.005, n_steps=60)
+    store = ResultStore.ensure(root)
+    # prime the ground-state cache so both attempts are propagation-only
+    store.put_ground_state(config, Simulation(config).ground_state())
+    store.close()
+
+    with JobService(root, port=0, workers=1, backoff=0.0) as service:
+        client = ServeClient(service.url)
+        job_id = client.submit(config)["job_id"]
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            job = client.job(job_id)
+            if job["status"] == "running" and job["progress"] > 0.0:
+                break
+            time.sleep(0.02)
+        else:
+            pytest.fail(f"job never started propagating: {job}")
+        pid = service.pool.pid_of(job["worker"])
+        assert pid is not None
+        os.kill(pid, signal.SIGKILL)
+        final = client.wait(job_id, timeout_s=300.0)
+        assert final["status"] == "ok", final.get("error")
+        assert final["attempts"] == 2
+        outcomes = [a["outcome"] for a in client.job(job_id)["history"]]
+        assert outcomes == ["crashed", "ok"]
+
+
+def test_restart_resumes_interrupted_and_queued_jobs(tmp_path):
+    """A dead server's running + queued jobs complete after a reboot."""
+    root = tmp_path / "store"
+    ResultStore.ensure(root).close()
+    config_a = make_config(kick=0.006)
+    config_b = make_config(kick=0.007)
+    queue = JobQueue(root)
+    queue.submit(config_a)
+    queue.submit(config_b)
+    claimed = queue.claim("w-departed")  # simulates a crashed worker
+    assert claimed["job_id"] == job_id_for(config_a)
+    queue.close()
+
+    with JobService(root, port=0, workers=2, backoff=0.0) as service:
+        assert service.recovered == 1
+        assert service.stats()["recovered_on_boot"] == 1
+        assert service.wait_all(timeout_s=300.0)
+        done_a = service.queue.get(job_id_for(config_a))
+        done_b = service.queue.get(job_id_for(config_b))
+        assert done_a["status"] == "ok"
+        assert done_b["status"] == "ok"
+        # the interrupted claim consumed the first attempt
+        assert done_a["attempts"] == 2
+        outcomes = [a["outcome"] for a in service.queue.attempts(done_a["job_id"])]
+        assert outcomes == ["interrupted", "ok"]
+
+
+# ---------------------------------------------------------------------------
+# queue unit tests (no worker processes)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def queue(tmp_path):
+    ResultStore.ensure(tmp_path / "store").close()
+    q = JobQueue(tmp_path / "store")
+    yield q
+    q.close()
+
+
+def test_queue_submit_is_idempotent(queue):
+    config = make_config()
+    first = queue.submit(config)
+    again = queue.submit(config)
+    assert first["job_id"] == again["job_id"] == job_id_for(config)
+    assert again["status"] == "queued"
+    assert queue.counts()["queued"] == 1
+
+
+def test_queue_submit_with_run_id_is_born_ok(queue):
+    job = queue.submit(make_config(), run_id="r0123456789ab")
+    assert job["status"] == "ok"
+    assert job["run_id"] == "r0123456789ab"
+    assert job["progress"] == 1.0
+    assert job["message"] == "cached"
+    assert queue.claim("w0") is None
+
+
+def test_queue_claim_consumes_attempt_and_orders_fifo(queue):
+    config_a = make_config(kick=0.001)
+    config_b = make_config(kick=0.002)
+    queue.submit(config_a)
+    queue.submit(config_b)
+    job = queue.claim("w0")
+    assert job["job_id"] == job_id_for(config_a)
+    assert job["status"] == "running"
+    assert job["attempts"] == 1
+    assert queue.running_for("w0")[0]["job_id"] == job["job_id"]
+
+
+def test_queue_failed_attempt_requeues_with_backoff(queue):
+    queue.submit(make_config(), max_attempts=3)
+    job = queue.claim("w0")
+    failed = queue.fail_attempt(job["job_id"], "boom", backoff=30.0)
+    assert failed["status"] == "queued"
+    assert failed["error"] == "boom"
+    assert failed["not_before"] > time.time() + 10.0
+    assert queue.claim("w0") is None  # backoff still holds
+
+
+def test_queue_exhausted_attempts_land_in_error(queue):
+    queue.submit(make_config(), max_attempts=1)
+    job = queue.claim("w0")
+    failed = queue.fail_attempt(job["job_id"], "boom", backoff=0.0)
+    assert failed["status"] == "error"
+    assert queue.claim("w0") is None
+    history = queue.attempts(job["job_id"])
+    assert [a["outcome"] for a in history] == ["error"]
+
+
+def test_queue_resubmit_rearms_failed_job(queue):
+    config = make_config()
+    queue.submit(config, max_attempts=1)
+    queue.fail_attempt(queue.claim("w0")["job_id"], "boom", backoff=0.0)
+    rearmed = queue.submit(config, max_attempts=2)
+    assert rearmed["status"] == "queued"
+    assert rearmed["attempts"] == 0
+    assert rearmed["max_attempts"] == 2
+    assert rearmed["error"] is None
+
+
+def test_queue_cancel_blocks_finish(queue):
+    config = make_config()
+    queue.submit(config)
+    job = queue.claim("w0")
+    prior = queue.cancel(job["job_id"])
+    assert prior["status"] == "running"  # the row before the transition
+    # a worker that raced past the cancel cannot resurrect the job
+    queue.finish_ok(job["job_id"], "r0123456789ab")
+    assert queue.get(job["job_id"])["status"] == "cancelled"
+    assert queue.get(job["job_id"])["status"] in TERMINAL_STATUSES
+
+
+def test_queue_deadline_set_only_with_timeout(queue):
+    queue.submit(make_config(kick=0.001), timeout=0.0)
+    queue.submit(make_config(kick=0.002), timeout=0.01)
+    no_deadline = queue.claim("w0")
+    with_deadline = queue.claim("w1")
+    assert no_deadline["deadline"] is None
+    assert with_deadline["deadline"] is not None
+    time.sleep(0.05)
+    expired = queue.expired()
+    assert [j["job_id"] for j in expired] == [with_deadline["job_id"]]
+
+
+def test_queue_recover_requeues_running_jobs(queue):
+    queue.submit(make_config())
+    queue.register_worker("w0", pid=os.getpid())
+    job = queue.claim("w0")
+    assert queue.recover() == 1
+    requeued = queue.get(job["job_id"])
+    assert requeued["status"] == "queued"
+    assert requeued["attempts"] == 1  # consumed attempt stays consumed
+    assert requeued["not_before"] == 0.0
+    assert queue.workers() == []
+    outcomes = [a["outcome"] for a in queue.attempts(job["job_id"])]
+    assert outcomes == ["interrupted"]
+
+
+def test_queue_requires_existing_store(tmp_path):
+    from repro.store import StoreError
+
+    with pytest.raises(StoreError):
+        JobQueue(tmp_path / "nowhere")

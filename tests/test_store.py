@@ -418,6 +418,36 @@ def test_parse_when_formats():
         parse_when("yesterday")
 
 
+def test_parse_when_end_of_day():
+    import datetime as dt
+
+    start = parse_when("2026-08-01")
+    end = parse_when("2026-08-01", end=True)
+    # --until 2026-08-01 must include the whole day but not the next one
+    assert end == pytest.approx(start + 86400.0, abs=1e-3)
+    assert end < dt.datetime(2026, 8, 2, tzinfo=dt.timezone.utc).timestamp()
+    # only bare dates widen; full timestamps and epochs are unaffected
+    assert parse_when("2026-08-01T12:00:00", end=True) == parse_when("2026-08-01T12:00:00")
+    assert parse_when("1754000000", end=True) == 1754000000.0
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_query_limit_offset_pages_in_order(tmp_path, backend):
+    store = ResultStore(tmp_path / backend, backend=backend)
+    for i, kick in enumerate((0.001, 0.002, 0.003, 0.004, 0.005)):
+        store.add_run(make_config(kick=kick), synth_arrays(seed=i), synth_state())
+    everything = [r.run_id for r in store.query()]
+    assert len(everything) == 5
+    first_two = [r.run_id for r in store.query(limit=2)]
+    rest = [r.run_id for r in store.query(offset=2)]
+    assert first_two + rest == everything
+    assert [r.run_id for r in store.query(limit=2, offset=4)] == everything[4:]
+    assert store.query(offset=99) == []
+    # paging composes with filters
+    assert len(store.query(status="ok", limit=3)) == 3
+    store.close()
+
+
 def test_flatten_dotted_covers_param_dicts():
     flat = flatten_dotted(make_config(kick=0.003).to_dict())
     assert flat["field.params.kick"] == 0.003
