@@ -123,6 +123,7 @@ def available_components() -> Dict[str, List[str]]:
     api registries.
     """
     from repro.backend import available_backends
+    from repro.lint import available_rules
     from repro.store.index import available_store_backends
 
     out = {
@@ -131,6 +132,7 @@ def available_components() -> Dict[str, List[str]]:
     }
     out["backend"] = available_backends()
     out["store"] = available_store_backends()
+    out["lint"] = available_rules()
     return out
 
 

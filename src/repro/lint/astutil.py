@@ -1,0 +1,113 @@
+"""AST name resolution shared by every rule.
+
+Rules reason about *fully dotted* names — ``numpy.fft.fftn``,
+``sqlite3.connect``, ``repro.store.common.connect_sqlite`` — but source
+code says ``np.fft.fftn(...)`` or ``connect_sqlite(...)``.
+:class:`ImportMap` records what every local name was imported as (all
+``import``/``from ... import`` statements in the module, whatever scope
+they appear in — fine for linting, where a false resolution inside an
+unrelated scope is vastly rarer than a missed one) and
+:meth:`ImportMap.resolve` walks an attribute chain back to its dotted
+origin.
+
+Names that were never imported resolve to themselves, which is exactly
+what rules need to recognize builtins (``open``, ``object``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional
+
+
+class ImportMap:
+    """Local name -> dotted import path for one module."""
+
+    def __init__(self, tree: ast.Module, rel: str = "") -> None:
+        #: e.g. ``{"np": "numpy", "sqlite3": "sqlite3", "sfft": "scipy.fft"}``
+        self.modules: Dict[str, str] = {}
+        #: e.g. ``{"connect_sqlite": "repro.store.common.connect_sqlite"}``
+        self.names: Dict[str, str] = {}
+        self._package = _package_of(rel)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    # ``import numpy.fft`` binds ``numpy``; with ``as`` the
+                    # alias names the full dotted module
+                    self.modules[local] = alias.name if alias.asname else local
+            elif isinstance(node, ast.ImportFrom):
+                base = self._absolute(node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.names[local] = f"{base}.{alias.name}" if base else alias.name
+
+    def _absolute(self, node: ast.ImportFrom) -> Optional[str]:
+        if not node.level:
+            return node.module or ""
+        # relative import: resolve against the module's own package,
+        # derived from its package-relative path
+        if self._package is None:
+            return None
+        parts = self._package.split(".")
+        if node.level - 1 > len(parts):
+            return None
+        base = parts[: len(parts) - (node.level - 1)]
+        if node.module:
+            base.append(node.module)
+        return ".".join(base)
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted origin of a Name/Attribute chain, or None.
+
+        ``np.fft.fftn`` -> ``numpy.fft.fftn``; a bare never-imported
+        name resolves to itself (builtins).  Anything rooted in a call
+        result or subscript resolves to None — rules only match direct
+        module-attribute access.
+        """
+        chain = []
+        while isinstance(node, ast.Attribute):
+            chain.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = node.id
+        if root in self.names:
+            base = self.names[root]
+        elif root in self.modules:
+            base = self.modules[root]
+        else:
+            base = root
+        return ".".join([base] + list(reversed(chain)))
+
+    def resolve_call(self, node: ast.Call) -> Optional[str]:
+        return self.resolve(node.func)
+
+
+def _package_of(rel: str) -> Optional[str]:
+    """``store/index.py`` -> ``repro.store`` (for relative imports)."""
+    if not rel:
+        return None
+    parts = rel.replace("\\", "/").split("/")
+    return ".".join(["repro"] + parts[:-1])
+
+
+def const_str(node: ast.AST) -> Optional[str]:
+    """The value of a string-literal node, else None."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def call_arg(node: ast.Call, index: int, keyword: str) -> Optional[ast.AST]:
+    """Positional-or-keyword argument lookup on a call node."""
+    if len(node.args) > index:
+        return node.args[index]
+    for kw in node.keywords:
+        if kw.arg == keyword:
+            return kw.value
+    return None

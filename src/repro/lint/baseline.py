@@ -1,0 +1,98 @@
+"""Committed-baseline mode: pre-existing findings don't block CI,
+new ones do.
+
+The baseline file (``lint-baseline.json`` at the repo root, regenerated
+with ``repro lint --update-baseline``) maps :meth:`Finding.baseline_key`
+— rule + package-relative path + the offending line's code — to a
+count.  Keys deliberately exclude line numbers, so baselined findings
+keep matching while unrelated edits shift the file; editing the
+offending line itself invalidates its key, which is the desired
+behavior (you touched it, you fix it).
+
+:meth:`Baseline.filter` consumes at most ``count`` matching findings
+per key, so *adding a second copy* of a baselined violation still
+fails the build.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from repro.lint.findings import Finding
+
+BASELINE_VERSION = 1
+
+#: conventional baseline location (repo root), used by the CLI default
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+class Baseline:
+    """A loaded baseline: finding keys -> allowed counts."""
+
+    def __init__(self, counts: Dict[str, int] | None = None) -> None:
+        self.counts: Dict[str, int] = dict(counts or {})
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())
+
+    @classmethod
+    def load(cls, path) -> "Baseline":
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except FileNotFoundError:
+            raise
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ValueError(f"cannot read lint baseline {path}: {exc}") from exc
+        if not isinstance(data, dict) or "findings" not in data:
+            raise ValueError(
+                f"lint baseline {path} is not a baseline file "
+                f"(expected a JSON object with a 'findings' key)"
+            )
+        version = int(data.get("version", 1))
+        if version > BASELINE_VERSION:
+            raise ValueError(
+                f"lint baseline {path} has version {version}, newer than this "
+                f"build's {BASELINE_VERSION}; regenerate it with "
+                f"'repro lint --update-baseline'"
+            )
+        counts = {str(k): int(v) for k, v in dict(data["findings"]).items()}
+        return cls(counts)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        counts: Dict[str, int] = {}
+        for f in findings:
+            key = f.baseline_key()
+            counts[key] = counts.get(key, 0) + 1
+        return cls(counts)
+
+    def filter(self, findings: Iterable[Finding]) -> Tuple[List[Finding], int]:
+        """Split findings into (new, number-consumed-by-baseline)."""
+        remaining = dict(self.counts)
+        new: List[Finding] = []
+        consumed = 0
+        for f in findings:
+            key = f.baseline_key()
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                consumed += 1
+            else:
+                new.append(f)
+        return new, consumed
+
+    def save(self, path) -> Path:
+        """Write the baseline file (atomic: temp + rename)."""
+        from repro.utils.io import atomic_write_text
+
+        payload = {
+            "version": BASELINE_VERSION,
+            "comment": (
+                "repro lint baseline: pre-existing findings tolerated by CI. "
+                "Regenerate with: repro lint --update-baseline"
+            ),
+            "findings": {k: self.counts[k] for k in sorted(self.counts)},
+        }
+        return atomic_write_text(path, json.dumps(payload, indent=2) + "\n")

@@ -1,0 +1,85 @@
+"""``config-immutability`` — frozen dataclasses are never mutated from
+outside.
+
+Configs are frozen dataclasses and their canonical JSON is a *content
+address*: the store's run ids, ground-state dedup groups, and the
+serve API's idempotent submits all key on the config hash.  Reaching
+into a frozen instance with ``object.__setattr__`` after construction
+silently changes an object whose identity has already been hashed.
+
+``object.__setattr__`` is therefore allowed only:
+
+- anywhere in ``api/config.py`` (the config layer owns its own
+  normalization machinery), or
+- on ``self``, inside the owning class's own construction hooks
+  (``__init__`` / ``__post_init__`` / ``__new__`` / ``__setstate__``)
+  — the standard frozen-dataclass normalization idiom used by
+  ``UnitCell`` and friends.
+
+Everything else — mutating *another* object, or mutating ``self``
+after construction — is a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.lint.astutil import ImportMap
+from repro.lint.findings import Finding, SourceModule
+from repro.lint.registry import register_rule
+from repro.lint.rules import in_scope
+
+RULE = "config-immutability"
+
+EXEMPT_FILES = ("api/config.py",)
+
+#: construction hooks where self-normalization is the frozen idiom
+_CTOR_HOOKS = ("__init__", "__post_init__", "__new__", "__setstate__")
+
+_HINT = (
+    "frozen instances are content-addressed; build a new one with "
+    "dataclasses.replace / config.replace() instead"
+)
+
+
+@register_rule(
+    RULE,
+    "object.__setattr__ on frozen dataclasses only in api/config.py or own ctor hooks",
+)
+def check(module: SourceModule, imports: ImportMap) -> Iterable[Finding]:
+    if in_scope(module.rel, files=EXEMPT_FILES):
+        return []
+
+    findings: List[Finding] = []
+
+    def visit(node: ast.AST, func_name: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            name = func_name
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                name = child.name
+            elif isinstance(child, ast.Call):
+                if imports.resolve_call(child) == "object.__setattr__":
+                    target_is_self = (
+                        bool(child.args)
+                        and isinstance(child.args[0], ast.Name)
+                        and child.args[0].id == "self"
+                    )
+                    if not (target_is_self and func_name in _CTOR_HOOKS):
+                        what = (
+                            "mutates a frozen instance outside its "
+                            "construction hooks"
+                            if target_is_self
+                            else "mutates a frozen instance it does not own"
+                        )
+                        findings.append(
+                            module.finding(
+                                child, RULE,
+                                f"object.__setattr__ {what}",
+                                hint=_HINT,
+                            )
+                        )
+            visit(child, name)
+
+    visit(module.tree, "<module>")
+    return findings

@@ -1,0 +1,79 @@
+"""``fft-isolation`` — raw FFT libraries only inside ``repro/backend/``.
+
+Every transform in the package must go through the backend protocol so
+it hits the FFT counters; a raw ``np.fft.fftn`` escapes the tallies and
+the paper's analytic N^2/N^3 accounting silently stops matching the
+instrumented numerics.  This rule is the AST-based promotion of the
+regex guard test PR 3 shipped (``test_no_raw_fft_outside_backend``):
+unlike the regex it ignores docstrings and comments, and it follows
+import aliases (``import scipy.fft as sf``; ``from numpy import fft``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.lint.astutil import ImportMap
+from repro.lint.findings import Finding, SourceModule
+from repro.lint.registry import register_rule
+
+RULE = "fft-isolation"
+
+#: dotted prefixes whose use constitutes a raw FFT-library dependency
+BANNED_PREFIXES = ("numpy.fft", "scipy.fft", "scipy.fftpack", "pyfftw")
+
+#: the one place raw FFT libraries are allowed
+EXEMPT_DIRS = ("backend/",)
+
+_HINT = (
+    "route transforms through grid.backend (Backend.fftn/ifftn) or the "
+    "exempt 1-D helpers repro.backend.rfft/rfftfreq"
+)
+
+
+def _is_banned(dotted: str) -> bool:
+    return any(
+        dotted == prefix or dotted.startswith(prefix + ".")
+        for prefix in BANNED_PREFIXES
+    )
+
+
+def _banned_imports(node: ast.AST) -> Iterator[str]:
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            if _is_banned(alias.name):
+                yield alias.name
+    elif isinstance(node, ast.ImportFrom) and not node.level:
+        module = node.module or ""
+        if _is_banned(module):
+            yield module
+        elif module in ("numpy", "scipy"):
+            for alias in node.names:
+                if _is_banned(f"{module}.{alias.name}"):
+                    yield f"{module}.{alias.name}"
+
+
+@register_rule(
+    RULE,
+    "raw FFT libraries (numpy.fft/scipy.fft/pyfftw) allowed only in repro/backend/",
+)
+def check(module: SourceModule, imports: ImportMap) -> Iterable[Finding]:
+    rel = module.rel.replace("\\", "/")
+    if any(rel.startswith(d) for d in EXEMPT_DIRS):
+        return
+    for node in ast.walk(module.tree):
+        for dotted in _banned_imports(node):
+            yield module.finding(
+                node, RULE,
+                f"import of raw FFT library {dotted!r} outside repro/backend/",
+                hint=_HINT,
+            )
+        if isinstance(node, ast.Attribute):
+            dotted = imports.resolve(node)
+            if dotted is not None and _is_banned(dotted):
+                yield module.finding(
+                    node, RULE,
+                    f"raw FFT-library use {dotted!r} outside repro/backend/",
+                    hint=_HINT,
+                )

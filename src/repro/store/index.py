@@ -30,6 +30,7 @@ from repro.store.common import (
     run_immediate,
 )
 from repro.store.migrate import SCHEMA_VERSION, ensure_schema
+from repro.utils.io import atomic_write_text
 
 #: row keys every backend stores and returns
 ROW_KEYS = (
@@ -251,9 +252,12 @@ class JsonlRunIndex:
         self.path = Path(root) / self.filename
         self.path.parent.mkdir(parents=True, exist_ok=True)
         if not self.path.exists():
-            self.path.write_text(
+            # atomic: a crash mid-header-write must not leave a truncated
+            # first line that poisons every later open of this index
+            atomic_write_text(
+                self.path,
                 json.dumps({"jsonl_header": True, "schema_version": SCHEMA_VERSION})
-                + "\n"
+                + "\n",
             )
         header = json.loads(self.path.read_text().splitlines()[0])
         self.schema_version = int(header.get("schema_version", 1))

@@ -479,11 +479,13 @@ def store_schema_info(root) -> Dict[str, Any]:
     sqlite_path = root / "index.sqlite"
     jsonl_path = root / "index.jsonl"
     if sqlite_path.exists():
-        import sqlite3
-
+        from repro.store.common import connect_sqlite
         from repro.store.migrate import schema_version as _sqlite_version
 
-        conn = sqlite3.connect(sqlite_path)
+        # connect_sqlite, not a raw sqlite3.connect: even this read-only
+        # peek must honor WAL mode and the busy timeout, or it races the
+        # 4-process write hammer straight into SQLITE_BUSY
+        conn = connect_sqlite(sqlite_path)
         try:
             version = _sqlite_version(conn)
         finally:
